@@ -1,0 +1,135 @@
+// dwsim runs one benchmark under one configuration and prints the
+// statistics the paper's evaluation is built from.
+//
+// Usage:
+//
+//	dwsim -bench Merge -scheme DWS.ReviveSplit
+//	dwsim -bench FFT -scheme Conv -width 8 -warps 8 -l1kb 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/energy"
+	"repro/internal/engine"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+	"repro/internal/wpu"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "Merge", "benchmark: FFT, Filter, HotSpot, LU, Merge, Short, KMeans, SVM, or 'all'")
+		scheme    = flag.String("scheme", "DWS.ReviveSplit", "scheme: "+schemeList())
+		wpus      = flag.Int("wpus", 4, "number of WPUs")
+		width     = flag.Int("width", 16, "SIMD width")
+		warps     = flag.Int("warps", 4, "warps per WPU")
+		slots     = flag.Int("slots", 0, "scheduler slots (0 = 2x warps)")
+		wst       = flag.Int("wst", 16, "warp-split table entries")
+		l1kb      = flag.Int("l1kb", 32, "L1 D-cache size in KB")
+		l1assoc   = flag.Int("l1assoc", 8, "L1 D-cache associativity (0 = fully associative)")
+		l2lat     = flag.Int("l2lat", 30, "L2 lookup latency in cycles")
+		l2kb      = flag.Int("l2kb", 4096, "L2 size in KB")
+		scale     = flag.Int("scale", 1, "input-size multiplier (power of two; see workloads.AllWithScale)")
+		verify    = flag.Bool("verify", true, "verify results against the host reference")
+		showDis   = flag.Bool("disasm", false, "print each kernel's disassembly instead of running")
+	)
+	flag.Parse()
+
+	cfg := sim.DefaultConfig()
+	cfg.WPUs = *wpus
+	cfg.WPU.Width = *width
+	cfg.WPU.Warps = *warps
+	cfg.WPU.SchedSlots = *slots
+	cfg.WPU.WSTEntries = *wst
+	cfg.Hier.L1.SizeBytes = *l1kb * 1024
+	cfg.Hier.L1.Ways = *l1assoc
+	cfg.Hier.L2.LookupLat = engine.Cycle(*l2lat)
+	cfg.Hier.L2.SizeBytes = *l2kb * 1024
+	cfg.WPU = wpu.Scheme(*scheme).Apply(cfg.WPU)
+
+	names := []string{*benchName}
+	if *benchName == "all" {
+		names = names[:0]
+		for _, s := range workloads.All() {
+			names = append(names, s.Name)
+		}
+	}
+	for _, name := range names {
+		if err := runOne(name, cfg, *scheme, *scale, *verify, *showDis); err != nil {
+			fmt.Fprintln(os.Stderr, "dwsim:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func schemeList() string {
+	var names []string
+	for _, s := range wpu.AllSchemes {
+		names = append(names, string(s))
+	}
+	return strings.Join(names, ", ")
+}
+
+func runOne(name string, cfg sim.Config, scheme string, scale int, verify, showDis bool) error {
+	spec, err := workloads.ByNameScaled(name, scale)
+	if err != nil {
+		return err
+	}
+	sys, err := sim.New(cfg)
+	if err != nil {
+		return err
+	}
+	inst, err := spec.Build(sys)
+	if err != nil {
+		return err
+	}
+	if showDis {
+		seen := map[string]bool{}
+		for _, st := range inst.Steps() {
+			if seen[st.Prog.Name] {
+				continue
+			}
+			seen[st.Prog.Name] = true
+			fmt.Printf("== %s ==\n%s\n", st.Prog.Name, st.Prog.Disassemble())
+		}
+		return nil
+	}
+	if err := inst.Run(sys); err != nil {
+		return err
+	}
+	if verify {
+		if err := inst.Verify(); err != nil {
+			return err
+		}
+	}
+
+	st := sys.TotalStats()
+	l1 := sys.L1Stats()
+	e := energy.Estimate(sys)
+	fmt.Printf("%-8s %-24s cycles=%-9d busy=%.1f%% memstall=%.1f%% width=%.1f/%d\n",
+		name, scheme, sys.Cycles(),
+		100*float64(st.BusyCycles)/float64(st.Cycles()),
+		100*st.MemStallFraction(), st.MeanSIMDWidth(), cfg.WPU.Width)
+	fmt.Printf("  instr=%d threadops=%d branches=%d (%.1f%% divergent) memacc=%d (%.1f%% divergent, %.1f%% with miss)\n",
+		st.Issued, st.ThreadOps, st.Branches, pct(st.DivBranch, st.Branches),
+		st.MemAccesses, pct(st.MemDivergent, st.MemAccesses), pct(st.MemWithMiss, st.MemAccesses))
+	fmt.Printf("  L1: %.1f%% miss | subdivisions: branch=%d mem=%d revive=%d | merges: pc=%d scope=%d | peak splits=%d\n",
+		100*l1.MissRate(), st.BranchSubdivisions, st.MemSubdivisions, st.Revivals,
+		st.PCMerges, st.ScopeMerges, st.PeakSplits)
+	if st.SlipEvents > 0 {
+		fmt.Printf("  slip: events=%d merges=%d refused=%d\n", st.SlipEvents, st.SlipMerges, st.SlipRefused)
+	}
+	fmt.Printf("  energy=%.3f mJ (dynamic %.3f, leakage %.3f)\n", e.TotalmJ(), e.DynamicmJ(), e.LeakagemJ())
+	return nil
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

@@ -1,0 +1,173 @@
+// dwsreport regenerates every table and figure of the paper's evaluation
+// in one run (see DESIGN.md's experiment index). Results are printed as
+// text tables; EXPERIMENTS.md records a reference run next to the paper's
+// numbers.
+//
+// Usage:
+//
+//	dwsreport                 # the full set (several minutes)
+//	dwsreport -quick          # trimmed Figure 18 grid
+//	dwsreport -only 13        # a single exhibit (t1, 1a, 1b, 1c, 7, 11, 13,
+//	                          # 14, 15, 16, 17, 18, 19, 20, 21, headline,
+//	                          # ablation)
+//	dwsreport -csv out/       # additionally write one CSV per exhibit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		quick  = flag.Bool("quick", false, "trim the Figure 18 grid")
+		only   = flag.String("only", "", "run a single exhibit")
+		csvDir = flag.String("csv", "", "directory to write per-exhibit CSV files")
+	)
+	flag.Parse()
+
+	s := report.NewSession()
+	w := os.Stdout
+	csvOut := func(fn func(dir string) error) error {
+		if *csvDir == "" {
+			return nil
+		}
+		return fn(*csvDir)
+	}
+
+	type exhibit struct {
+		id  string
+		fn  func() error
+		doc string
+	}
+	exhibits := []exhibit{
+		{"t1", func() error {
+			rows, err := s.Table1(w)
+			if err != nil {
+				return err
+			}
+			return csvOut(func(d string) error { return report.Table1CSV(d, rows) })
+		}, "Table 1"},
+		{"1a", func() error {
+			pts, err := s.Figure1a(w)
+			if err != nil {
+				return err
+			}
+			return csvOut(func(d string) error { return report.SweepCSV(d, "figure1a.csv", pts) })
+		}, "Figure 1a"},
+		{"1b", func() error {
+			pts, err := s.Figure1b(w)
+			if err != nil {
+				return err
+			}
+			return csvOut(func(d string) error { return report.SweepCSV(d, "figure1b.csv", pts) })
+		}, "Figure 1b"},
+		{"1c", func() error {
+			pts, err := s.Figure1c(w)
+			if err != nil {
+				return err
+			}
+			return csvOut(func(d string) error { return report.SweepCSV(d, "figure1c.csv", pts) })
+		}, "Figure 1c"},
+		{"7", func() error {
+			out, err := s.Figure7(w)
+			if err != nil {
+				return err
+			}
+			return csvOut(func(d string) error { return report.SchemeCSV(d, "figure7.csv", out) })
+		}, "Figure 7"},
+		{"11", func() error {
+			out, err := s.Figure11(w)
+			if err != nil {
+				return err
+			}
+			return csvOut(func(d string) error { return report.SchemeCSV(d, "figure11.csv", out) })
+		}, "Figure 11"},
+		{"13", func() error {
+			out, err := s.Figure13(w)
+			if err != nil {
+				return err
+			}
+			return csvOut(func(d string) error { return report.SchemeCSV(d, "figure13.csv", out) })
+		}, "Figure 13"},
+		{"headline", func() error { return s.Headline(w) }, "§5.5 headline"},
+		{"14", func() error {
+			grids, err := s.Figure14(w)
+			if err != nil {
+				return err
+			}
+			return csvOut(func(d string) error { return report.Figure14CSV(d, grids) })
+		}, "Figure 14"},
+		{"15", func() error {
+			pts, err := s.Figure15(w)
+			if err != nil {
+				return err
+			}
+			return csvOut(func(d string) error { return report.SensitivityCSV(d, "figure15.csv", pts) })
+		}, "Figure 15"},
+		{"16", func() error {
+			pts, err := s.Figure16(w)
+			if err != nil {
+				return err
+			}
+			return csvOut(func(d string) error { return report.SensitivityCSV(d, "figure16.csv", pts) })
+		}, "Figure 16"},
+		{"17", func() error {
+			pts, err := s.Figure17(w)
+			if err != nil {
+				return err
+			}
+			return csvOut(func(d string) error { return report.SensitivityCSV(d, "figure17.csv", pts) })
+		}, "Figure 17"},
+		{"18", func() error {
+			pts, err := s.Figure18(w, *quick)
+			if err != nil {
+				return err
+			}
+			return csvOut(func(d string) error { return report.Figure18CSV(d, pts) })
+		}, "Figure 18"},
+		{"19", func() error {
+			rows, err := s.Figure19(w)
+			if err != nil {
+				return err
+			}
+			return csvOut(func(d string) error { return report.EnergyCSV(d, rows) })
+		}, "Figure 19"},
+		{"20", func() error {
+			pts, err := s.Figure20(w)
+			if err != nil {
+				return err
+			}
+			return csvOut(func(d string) error { return report.SensitivityCSV(d, "figure20.csv", pts) })
+		}, "Figure 20"},
+		{"21", func() error {
+			pts, err := s.Figure21(w)
+			if err != nil {
+				return err
+			}
+			return csvOut(func(d string) error { return report.SensitivityCSV(d, "figure21.csv", pts) })
+		}, "Figure 21"},
+		{"ablation", func() error {
+			rows, err := s.Ablation(w)
+			if err != nil {
+				return err
+			}
+			return csvOut(func(d string) error { return report.AblationCSV(d, rows) })
+		}, "Ablation (beyond paper)"},
+	}
+	for _, e := range exhibits {
+		if *only != "" && e.id != *only {
+			continue
+		}
+		start := time.Now()
+		if err := e.fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "dwsreport: %s: %v\n", e.doc, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "[%s in %.1fs]\n\n", e.doc, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,78 @@
+// dwstrace runs a benchmark and prints a sampled timeline of every WPU's
+// scheduling state — which SIMD groups exist, their masks, PCs and states,
+// sync scopes and slip groups — the fastest way to see dynamic warp
+// subdivision working (or to debug a policy change).
+//
+// Usage:
+//
+//	dwstrace -bench KMeans -scheme DWS.ReviveSplit -every 5000
+//	dwstrace -bench Merge -scheme Slip.BranchBypass -from 10000 -until 12000 -every 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/sim"
+	"repro/internal/workloads"
+	"repro/internal/wpu"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "KMeans", "benchmark to trace")
+		scheme    = flag.String("scheme", "DWS.ReviveSplit", "scheme")
+		every     = flag.Uint64("every", 5000, "sample interval in cycles")
+		from      = flag.Uint64("from", 0, "first cycle to sample")
+		until     = flag.Uint64("until", ^uint64(0), "last cycle to sample")
+		onlyWPU   = flag.Int("wpu", -1, "restrict the dump to one WPU (-1 = all)")
+	)
+	flag.Parse()
+
+	spec, err := workloads.ByName(*benchName)
+	if err != nil {
+		fail(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.WPU = wpu.Scheme(*scheme).Apply(cfg.WPU)
+	sys, err := sim.New(cfg)
+	if err != nil {
+		fail(err)
+	}
+	inst, err := spec.Build(sys)
+	if err != nil {
+		fail(err)
+	}
+
+	sys.Tracer = func(cycle uint64) {
+		if cycle < *from || cycle > *until || *every == 0 || cycle%*every != 0 {
+			return
+		}
+		fmt.Printf("=== cycle %d ===\n", cycle)
+		for i, w := range sys.WPUs {
+			if *onlyWPU >= 0 && i != *onlyWPU {
+				continue
+			}
+			fmt.Print(w.DebugDump())
+		}
+	}
+
+	if err := inst.Run(sys); err != nil {
+		fail(err)
+	}
+	if err := inst.Verify(); err != nil {
+		fail(err)
+	}
+	st := sys.TotalStats()
+	fmt.Printf("=== done: %d cycles, %d subdivisions (%d branch, %d mem, %d revivals), "+
+		"%d PC merges, %d wait merges, %d scope merges ===\n",
+		sys.Cycles(), st.BranchSubdivisions+st.MemSubdivisions,
+		st.BranchSubdivisions, st.MemSubdivisions, st.Revivals,
+		st.PCMerges, st.WaitMerges, st.ScopeMerges)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dwstrace:", err)
+	os.Exit(1)
+}

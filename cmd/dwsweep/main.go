@@ -1,0 +1,114 @@
+// dwsweep runs a one-dimensional parameter sweep for a benchmark (or the
+// whole suite) comparing two schemes, printing one row per sweep point.
+//
+// Usage:
+//
+//	dwsweep -param l2lat -values 10,30,100,300 -bench Filter
+//	dwsweep -param width -values 1,2,4,8,16 -scheme Conv -alt ""
+//	dwsweep -param l1kb -values 8,16,32,64,128 -bench all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/report"
+	"repro/internal/wpu"
+)
+
+func main() {
+	var (
+		param  = flag.String("param", "l2lat", "knob to sweep: width, warps, slots, wst, l1kb, l1assoc, l2kb, l2lat")
+		values = flag.String("values", "10,30,100,200,300", "comma-separated sweep values")
+		bench  = flag.String("bench", "all", "benchmark name or 'all' (h-mean)")
+		scheme = flag.String("scheme", "Conv", "baseline scheme")
+		alt    = flag.String("alt", "DWS.ReviveSplit", "comparison scheme ('' to disable)")
+	)
+	flag.Parse()
+
+	var vals []int
+	for _, v := range strings.Split(*values, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(v))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dwsweep: bad value %q\n", v)
+			os.Exit(1)
+		}
+		vals = append(vals, n)
+	}
+
+	apply := func(k *report.Knobs, v int) {
+		switch *param {
+		case "width":
+			k.Width = v
+		case "warps":
+			k.Warps = v
+		case "slots":
+			k.Slots = v
+		case "wst":
+			k.WST = v
+		case "l1kb":
+			k.L1KB = v
+		case "l1assoc":
+			k.L1Assoc = v
+		case "l2kb":
+			k.L2KB = v
+		case "l2lat":
+			k.L2Lat = v
+		default:
+			fmt.Fprintf(os.Stderr, "dwsweep: unknown param %q\n", *param)
+			os.Exit(1)
+		}
+	}
+
+	benches := []string{*bench}
+	if *bench == "all" {
+		benches = report.BenchNames()
+	}
+
+	s := report.NewSession()
+	fmt.Printf("%-10s  %-12s", *param, *scheme+" cyc")
+	if *alt != "" {
+		fmt.Printf("  %-12s  %s", *alt+" cyc", "speedup")
+	}
+	fmt.Println()
+	for _, v := range vals {
+		kb := report.DefaultKnobs(wpu.Scheme(*scheme))
+		apply(&kb, v)
+		var baseCycles, altCycles, speedups []float64
+		for _, b := range benches {
+			rb, err := s.Run(b, kb)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dwsweep:", err)
+				os.Exit(1)
+			}
+			baseCycles = append(baseCycles, float64(rb.Cycles))
+			if *alt != "" {
+				ka := report.DefaultKnobs(wpu.Scheme(*alt))
+				apply(&ka, v)
+				ra, err := s.Run(b, ka)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "dwsweep:", err)
+					os.Exit(1)
+				}
+				altCycles = append(altCycles, float64(ra.Cycles))
+				speedups = append(speedups, float64(rb.Cycles)/float64(ra.Cycles))
+			}
+		}
+		fmt.Printf("%-10d  %-12.0f", v, mean(baseCycles))
+		if *alt != "" {
+			fmt.Printf("  %-12.0f  %.3f", mean(altCycles), report.HarmonicMean(speedups))
+		}
+		fmt.Println()
+	}
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,18 @@
+// Package repro is a from-scratch Go reproduction of "Dynamic Warp
+// Subdivision for Integrated Branch and Memory Divergence Tolerance"
+// (Meng, Tarjan, Skadron; ISCA 2010 and UVA TR CS-2010-5).
+//
+// The library lives under internal/: a cycle/event simulation engine
+// (internal/engine), a small RISC ISA and compiler layer (internal/isa,
+// internal/program), a MESI-coherent two-level memory hierarchy
+// (internal/mem), the warp processing unit with every DWS policy and the
+// adaptive-slip baseline (internal/wpu), the machine assembly
+// (internal/sim), the eight verified benchmarks (internal/workloads), the
+// energy model (internal/energy), and the experiment harness
+// (internal/report).
+//
+// The root package exists to anchor bench_test.go, which regenerates every
+// table and figure of the paper's evaluation as Go benchmarks — see
+// EXPERIMENTS.md for a recorded run, and cmd/dwsreport for the standalone
+// driver.
+package repro

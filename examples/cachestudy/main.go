@@ -1,0 +1,58 @@
+// Cachestudy: the paper's §6 sensitivity analysis in miniature — sweep the
+// D-cache size and associativity for one benchmark and watch how the DWS
+// advantage shrinks as the cache grows ("employing DWS generates similar
+// effects as doubling the D-cache size", §6.3).
+//
+//	go run ./examples/cachestudy            # KMeans
+//	go run ./examples/cachestudy Short
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/report"
+	"repro/internal/wpu"
+)
+
+func main() {
+	bench := "KMeans"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+	s := report.NewSession()
+
+	fmt.Printf("%s: DWS.ReviveSplit speedup over Conv across D-cache configurations\n\n", bench)
+	fmt.Printf("%-10s", "size\\assoc")
+	assocs := []int{4, 8, 0}
+	for _, a := range assocs {
+		if a == 0 {
+			fmt.Printf(" %10s", "full")
+		} else {
+			fmt.Printf(" %9d-way", a)
+		}
+	}
+	fmt.Println()
+
+	for _, kb := range []int{8, 16, 32, 64, 128} {
+		fmt.Printf("%6d KB ", kb)
+		for _, assoc := range assocs {
+			kc := report.DefaultKnobs(wpu.SchemeConv)
+			kc.L1KB, kc.L1Assoc = kb, assoc
+			kd := report.DefaultKnobs(wpu.SchemeRevive)
+			kd.L1KB, kd.L1Assoc = kb, assoc
+			rc, err := s.Run(bench, kc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rd, err := s.Run(bench, kd)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %9.2fx", float64(rc.Cycles)/float64(rd.Cycles))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(compare against Figure 17's suite-wide sweep: go run ./cmd/dwsreport -only 17)")
+}

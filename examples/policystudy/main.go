@@ -1,0 +1,63 @@
+// Policystudy: run one benchmark from the paper's suite under every named
+// scheme — Conv, the DWS subdivision/re-convergence combinations, and the
+// adaptive-slip baselines — and print a side-by-side comparison, the
+// programmatic equivalent of one column of the paper's Figure 13.
+//
+//	go run ./examples/policystudy            # KMeans
+//	go run ./examples/policystudy Filter     # any suite benchmark
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/energy"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+	"repro/internal/wpu"
+)
+
+func main() {
+	bench := "KMeans"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+	spec, err := workloads.ByName(bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %s\n\n", spec.Name, spec.Desc)
+	fmt.Printf("%-24s %10s %8s %9s %7s %12s %10s\n",
+		"scheme", "cycles", "speedup", "memstall", "width", "subdivisions", "energy(mJ)")
+
+	var convCycles uint64
+	for _, scheme := range wpu.AllSchemes {
+		cfg := sim.DefaultConfig()
+		cfg.WPU = scheme.Apply(cfg.WPU)
+		sys, err := sim.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inst, err := spec.Build(sys)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := inst.Run(sys); err != nil {
+			log.Fatal(err)
+		}
+		if err := inst.Verify(); err != nil {
+			log.Fatalf("%s mis-executed under %s: %v", bench, scheme, err)
+		}
+		st := sys.TotalStats()
+		if scheme == wpu.SchemeConv {
+			convCycles = sys.Cycles()
+		}
+		fmt.Printf("%-24s %10d %7.2fx %8.1f%% %7.1f %12d %10.3f\n",
+			scheme, sys.Cycles(),
+			float64(convCycles)/float64(sys.Cycles()),
+			100*st.MemStallFraction(), st.MeanSIMDWidth(),
+			st.BranchSubdivisions+st.MemSubdivisions,
+			energy.Estimate(sys).TotalmJ())
+	}
+}

@@ -1,0 +1,106 @@
+// Package engine provides the deterministic discrete-event core used by the
+// DWS simulator. Components schedule callbacks at absolute cycle times on an
+// EventQueue; the simulation driver interleaves event delivery with
+// per-cycle ticks of the cycle-driven components (the WPU pipelines).
+//
+// Determinism matters: every experiment in the paper is a relative
+// comparison between configurations, so two runs of the same configuration
+// must produce identical cycle counts. Events scheduled for the same cycle
+// are delivered in FIFO order of scheduling.
+package engine
+
+import "container/heap"
+
+// Cycle is a point in simulated time, measured in WPU clock cycles.
+type Cycle uint64
+
+// Event is a callback scheduled to run at a specific cycle.
+type Event struct {
+	when Cycle
+	seq  uint64 // tie-break: FIFO among events at the same cycle
+	fn   func()
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*Event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Queue is a deterministic event queue. The zero value is ready to use.
+type Queue struct {
+	heap eventHeap
+	now  Cycle
+	seq  uint64
+}
+
+// Now returns the current simulated cycle.
+func (q *Queue) Now() Cycle { return q.now }
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// At schedules fn to run at absolute cycle when. Scheduling in the past
+// (when < Now) is a programming error and panics, because it would make the
+// simulation non-causal.
+func (q *Queue) At(when Cycle, fn func()) {
+	if when < q.now {
+		panic("engine: event scheduled in the past")
+	}
+	q.seq++
+	heap.Push(&q.heap, &Event{when: when, seq: q.seq, fn: fn})
+}
+
+// After schedules fn to run delay cycles from now.
+func (q *Queue) After(delay Cycle, fn func()) {
+	q.At(q.now+delay, fn)
+}
+
+// RunUntil delivers all events with time <= cycle and advances Now to cycle.
+func (q *Queue) RunUntil(cycle Cycle) {
+	for len(q.heap) > 0 && q.heap[0].when <= cycle {
+		e := heap.Pop(&q.heap).(*Event)
+		q.now = e.when
+		e.fn()
+	}
+	if cycle > q.now {
+		q.now = cycle
+	}
+}
+
+// NextEventTime reports the time of the earliest pending event. ok is false
+// when the queue is empty.
+func (q *Queue) NextEventTime() (when Cycle, ok bool) {
+	if len(q.heap) == 0 {
+		return 0, false
+	}
+	return q.heap[0].when, true
+}
+
+// Drain runs events until the queue is empty, advancing time as needed.
+// It is primarily useful in tests of event-driven components.
+func (q *Queue) Drain() {
+	for len(q.heap) > 0 {
+		e := heap.Pop(&q.heap).(*Event)
+		q.now = e.when
+		e.fn()
+	}
+}

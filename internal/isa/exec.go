@@ -1,0 +1,149 @@
+package isa
+
+import "math"
+
+// RegFile is the architectural register state of one thread.
+type RegFile [NumRegs]int64
+
+// Get reads a register, honouring the hardwired zero register.
+func (r *RegFile) Get(reg Reg) int64 {
+	if reg == 0 {
+		return 0
+	}
+	return r[reg]
+}
+
+// Set writes a register; writes to the zero register are discarded.
+func (r *RegFile) Set(reg Reg, v int64) {
+	if reg != 0 {
+		r[reg] = v
+	}
+}
+
+// GetF reads a register as float64.
+func (r *RegFile) GetF(reg Reg) float64 { return math.Float64frombits(uint64(r.Get(reg))) }
+
+// SetF writes a float64 into a register.
+func (r *RegFile) SetF(reg Reg, v float64) { r.Set(reg, int64(math.Float64bits(v))) }
+
+// EffAddr computes the effective address of a memory instruction for the
+// given register state.
+func EffAddr(in Inst, r *RegFile) uint64 {
+	return uint64(r.Get(in.SrcA) + in.Imm)
+}
+
+// BranchTaken evaluates a conditional branch for the given register state.
+// It panics if in is not a branch, since calling it on anything else is a
+// WPU front-end bug.
+func BranchTaken(in Inst, r *RegFile) bool {
+	switch in.Op {
+	case BEQZ:
+		return r.Get(in.SrcA) == 0
+	case BNEZ:
+		return r.Get(in.SrcA) != 0
+	default:
+		panic("isa: BranchTaken on non-branch " + in.Op.String())
+	}
+}
+
+// ExecALU executes a non-memory, non-control instruction against the
+// register file. Memory and control instructions are sequenced by the WPU
+// (they need cache timing and divergence handling) and must not be passed
+// here.
+func ExecALU(in Inst, r *RegFile) {
+	switch in.Op {
+	case NOP, BARRIER, HALT:
+		// No register effects.
+	case ADD:
+		r.Set(in.Dst, r.Get(in.SrcA)+r.Get(in.SrcB))
+	case SUB:
+		r.Set(in.Dst, r.Get(in.SrcA)-r.Get(in.SrcB))
+	case MUL:
+		r.Set(in.Dst, r.Get(in.SrcA)*r.Get(in.SrcB))
+	case DIV:
+		if b := r.Get(in.SrcB); b != 0 {
+			r.Set(in.Dst, r.Get(in.SrcA)/b)
+		} else {
+			r.Set(in.Dst, 0)
+		}
+	case REM:
+		if b := r.Get(in.SrcB); b != 0 {
+			r.Set(in.Dst, r.Get(in.SrcA)%b)
+		} else {
+			r.Set(in.Dst, 0)
+		}
+	case AND:
+		r.Set(in.Dst, r.Get(in.SrcA)&r.Get(in.SrcB))
+	case OR:
+		r.Set(in.Dst, r.Get(in.SrcA)|r.Get(in.SrcB))
+	case XOR:
+		r.Set(in.Dst, r.Get(in.SrcA)^r.Get(in.SrcB))
+	case SHL:
+		r.Set(in.Dst, r.Get(in.SrcA)<<uint(r.Get(in.SrcB)&63))
+	case SHR:
+		r.Set(in.Dst, int64(uint64(r.Get(in.SrcA))>>uint(r.Get(in.SrcB)&63)))
+	case SLT:
+		r.Set(in.Dst, b2i(r.Get(in.SrcA) < r.Get(in.SrcB)))
+	case SLE:
+		r.Set(in.Dst, b2i(r.Get(in.SrcA) <= r.Get(in.SrcB)))
+	case SEQ:
+		r.Set(in.Dst, b2i(r.Get(in.SrcA) == r.Get(in.SrcB)))
+	case SNE:
+		r.Set(in.Dst, b2i(r.Get(in.SrcA) != r.Get(in.SrcB)))
+	case MIN:
+		r.Set(in.Dst, min(r.Get(in.SrcA), r.Get(in.SrcB)))
+	case MAX:
+		r.Set(in.Dst, max(r.Get(in.SrcA), r.Get(in.SrcB)))
+	case ADDI:
+		r.Set(in.Dst, r.Get(in.SrcA)+in.Imm)
+	case MULI:
+		r.Set(in.Dst, r.Get(in.SrcA)*in.Imm)
+	case ANDI:
+		r.Set(in.Dst, r.Get(in.SrcA)&in.Imm)
+	case SHLI:
+		r.Set(in.Dst, r.Get(in.SrcA)<<uint(in.Imm&63))
+	case SHRI:
+		r.Set(in.Dst, int64(uint64(r.Get(in.SrcA))>>uint(in.Imm&63)))
+	case SLTI:
+		r.Set(in.Dst, b2i(r.Get(in.SrcA) < in.Imm))
+	case MOVI:
+		r.Set(in.Dst, in.Imm)
+	case MOV:
+		r.Set(in.Dst, r.Get(in.SrcA))
+	case FADD:
+		r.SetF(in.Dst, r.GetF(in.SrcA)+r.GetF(in.SrcB))
+	case FSUB:
+		r.SetF(in.Dst, r.GetF(in.SrcA)-r.GetF(in.SrcB))
+	case FMUL:
+		r.SetF(in.Dst, r.GetF(in.SrcA)*r.GetF(in.SrcB))
+	case FDIV:
+		r.SetF(in.Dst, r.GetF(in.SrcA)/r.GetF(in.SrcB))
+	case FNEG:
+		r.SetF(in.Dst, -r.GetF(in.SrcA))
+	case FABS:
+		r.SetF(in.Dst, math.Abs(r.GetF(in.SrcA)))
+	case FMIN:
+		r.SetF(in.Dst, math.Min(r.GetF(in.SrcA), r.GetF(in.SrcB)))
+	case FMAX:
+		r.SetF(in.Dst, math.Max(r.GetF(in.SrcA), r.GetF(in.SrcB)))
+	case FSLT:
+		r.Set(in.Dst, b2i(r.GetF(in.SrcA) < r.GetF(in.SrcB)))
+	case FSLE:
+		r.Set(in.Dst, b2i(r.GetF(in.SrcA) <= r.GetF(in.SrcB)))
+	case FMOVI:
+		r.SetF(in.Dst, in.FImm)
+	case ITOF:
+		r.SetF(in.Dst, float64(r.Get(in.SrcA)))
+	case FTOI:
+		r.Set(in.Dst, int64(r.GetF(in.SrcA)))
+	default:
+		panic("isa: ExecALU on " + in.Op.String())
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,165 @@
+package isa
+
+// Edge-case semantics the kernels rely on: shift-amount masking, division
+// conventions, float/int conversion truncation, and disassembly coverage
+// of every opcode family.
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestShiftAmountsMaskTo63(t *testing.T) {
+	var r RegFile
+	r.Set(1, 1)
+	r.Set(2, 64) // 64 & 63 == 0: shift by nothing
+	ExecALU(Inst{Op: SHL, Dst: 3, SrcA: 1, SrcB: 2}, &r)
+	if r.Get(3) != 1 {
+		t.Fatalf("shl by 64 = %d, want 1", r.Get(3))
+	}
+	r.Set(2, 65) // = shift by 1
+	ExecALU(Inst{Op: SHL, Dst: 3, SrcA: 1, SrcB: 2}, &r)
+	if r.Get(3) != 2 {
+		t.Fatalf("shl by 65 = %d, want 2", r.Get(3))
+	}
+	r.Set(1, -8)
+	r.Set(2, 1)
+	ExecALU(Inst{Op: SHR, Dst: 3, SrcA: 1, SrcB: 2}, &r)
+	if r.Get(3) < 0 {
+		t.Fatal("shr must be logical (zero-extending)")
+	}
+}
+
+func TestDivisionTruncatesTowardZero(t *testing.T) {
+	var r RegFile
+	r.Set(1, -7)
+	r.Set(2, 2)
+	ExecALU(Inst{Op: DIV, Dst: 3, SrcA: 1, SrcB: 2}, &r)
+	if r.Get(3) != -3 {
+		t.Fatalf("-7/2 = %d, want -3", r.Get(3))
+	}
+	ExecALU(Inst{Op: REM, Dst: 3, SrcA: 1, SrcB: 2}, &r)
+	if r.Get(3) != -1 {
+		t.Fatalf("-7%%2 = %d, want -1", r.Get(3))
+	}
+}
+
+func TestFtoiTruncates(t *testing.T) {
+	var r RegFile
+	r.SetF(1, 2.99)
+	ExecALU(Inst{Op: FTOI, Dst: 2, SrcA: 1}, &r)
+	if r.Get(2) != 2 {
+		t.Fatalf("ftoi(2.99) = %d", r.Get(2))
+	}
+	r.SetF(1, -2.99)
+	ExecALU(Inst{Op: FTOI, Dst: 2, SrcA: 1}, &r)
+	if r.Get(2) != -2 {
+		t.Fatalf("ftoi(-2.99) = %d", r.Get(2))
+	}
+}
+
+func TestFminFmaxSemantics(t *testing.T) {
+	var r RegFile
+	r.SetF(1, -0.5)
+	r.SetF(2, 0.25)
+	ExecALU(Inst{Op: FMIN, Dst: 3, SrcA: 1, SrcB: 2}, &r)
+	if r.GetF(3) != -0.5 {
+		t.Fatalf("fmin = %g", r.GetF(3))
+	}
+	ExecALU(Inst{Op: FMAX, Dst: 3, SrcA: 1, SrcB: 2}, &r)
+	if r.GetF(3) != 0.25 {
+		t.Fatalf("fmax = %g", r.GetF(3))
+	}
+}
+
+func TestNopHasNoEffect(t *testing.T) {
+	var r, before RegFile
+	r.Set(5, 42)
+	before = r
+	ExecALU(Inst{Op: NOP}, &r)
+	if r != before {
+		t.Fatal("nop changed register state")
+	}
+}
+
+func TestExecALUPanicsOnMemAndControl(t *testing.T) {
+	for _, op := range []Op{LD, ST, BEQZ, BNEZ, JMP} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("ExecALU accepted %s", op)
+				}
+			}()
+			var r RegFile
+			ExecALU(Inst{Op: op}, &r)
+		}()
+	}
+}
+
+func TestDisassemblyCoversEveryOpcode(t *testing.T) {
+	for o := Op(0); o < opCount; o++ {
+		in := Inst{Op: o, Dst: 1, SrcA: 2, SrcB: 3, Imm: 4, FImm: 1.5, Target: 6}
+		s := in.String()
+		if s == "" || strings.Contains(s, "op(") {
+			t.Errorf("opcode %d disassembles to %q", o, s)
+		}
+	}
+}
+
+// Property: EffAddr is base + offset under two's-complement wrap.
+func TestPropertyEffAddr(t *testing.T) {
+	f := func(base int64, off int32) bool {
+		var r RegFile
+		r.Set(4, base)
+		got := EffAddr(Inst{Op: LD, SrcA: 4, Imm: int64(off)}, &r)
+		return got == uint64(base+int64(off))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: float comparisons agree with Go semantics (including NaN:
+// FSLT/FSLE are false when either side is NaN).
+func TestPropertyFloatComparisons(t *testing.T) {
+	f := func(a, b float64) bool {
+		var r RegFile
+		r.SetF(1, a)
+		r.SetF(2, b)
+		ExecALU(Inst{Op: FSLT, Dst: 3, SrcA: 1, SrcB: 2}, &r)
+		if (r.Get(3) == 1) != (a < b) {
+			return false
+		}
+		ExecALU(Inst{Op: FSLE, Dst: 3, SrcA: 1, SrcB: 2}, &r)
+		return (r.Get(3) == 1) == (a <= b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	var r RegFile
+	r.SetF(1, math.NaN())
+	r.SetF(2, 1)
+	ExecALU(Inst{Op: FSLT, Dst: 3, SrcA: 1, SrcB: 2}, &r)
+	if r.Get(3) != 0 {
+		t.Fatal("NaN < 1 reported true")
+	}
+}
+
+// Property: MOV/MOVI round-trip arbitrary values through any register.
+func TestPropertyMoves(t *testing.T) {
+	f := func(v int64, reg uint8) bool {
+		dst := Reg(reg%31) + 1 // skip r0
+		var r RegFile
+		ExecALU(Inst{Op: MOVI, Dst: dst, Imm: v}, &r)
+		ExecALU(Inst{Op: MOV, Dst: 31, SrcA: dst}, &r)
+		if dst == 31 {
+			return r.Get(31) == v
+		}
+		return r.Get(dst) == v && r.Get(31) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,186 @@
+// Package isa defines the instruction set executed by the simulated warp
+// processing units (WPUs).
+//
+// The paper simulates Alpha binaries; reproducing that toolchain is neither
+// possible here nor necessary — branch and memory divergence depend on the
+// shape of control flow and on address streams, not on a particular
+// encoding. This package therefore defines a small general-purpose RISC-like
+// register ISA that is rich enough to express the eight benchmarks as real,
+// functionally verified programs.
+//
+// Register model: 32 general registers per thread, each 64 bits wide.
+// Integer operations treat register contents as int64; floating-point
+// operations reinterpret the same bits as float64 (math.Float64bits), the
+// way a tagged scalar pipeline with a shared physical file would. Register 0
+// is hardwired to zero. By convention the launcher preloads:
+//
+//	R1 = global thread ID
+//	R2 = total thread count
+//	R3 = WPU-local thread index
+//
+// Memory is byte-addressed; loads and stores move 8-byte words and compute
+// the effective address as R[base] + Imm.
+package isa
+
+import "fmt"
+
+// Reg names one of the 32 general registers.
+type Reg uint8
+
+// NumRegs is the architectural register count per thread.
+const NumRegs = 32
+
+// WordSize is the size in bytes of a register-width memory access.
+const WordSize = 8
+
+// Op enumerates the instruction opcodes.
+type Op uint8
+
+// Opcode space. The groupings matter to the WPU front end: IsMem reports
+// opcodes that access the D-cache, IsBranch the conditional branches that
+// can diverge.
+const (
+	NOP Op = iota
+
+	// Integer ALU, register-register: Dst = SrcA op SrcB.
+	ADD
+	SUB
+	MUL
+	DIV // divide by zero yields 0, like a quiet trap
+	REM
+	AND
+	OR
+	XOR
+	SHL
+	SHR
+	SLT // set if less-than (signed)
+	SLE
+	SEQ
+	SNE
+	MIN
+	MAX
+
+	// Integer ALU, register-immediate: Dst = SrcA op Imm.
+	ADDI
+	MULI
+	ANDI
+	SHLI
+	SHRI
+	SLTI
+
+	// Register moves.
+	MOVI // Dst = Imm
+	MOV  // Dst = SrcA
+
+	// Floating point (bits reinterpreted as float64).
+	FADD
+	FSUB
+	FMUL
+	FDIV
+	FNEG
+	FABS
+	FMIN
+	FMAX
+	FSLT // Dst = 1 if f(SrcA) < f(SrcB) else 0 (integer result)
+	FSLE
+	FMOVI // Dst = bits(FImm)
+	ITOF  // Dst = bits(float64(int(SrcA)))
+	FTOI  // Dst = int64(f(SrcA)), truncating
+
+	// Memory. Address = R[SrcA] + Imm. LD: Dst = mem; ST: mem = R[SrcB].
+	LD
+	ST
+
+	// Control flow. Conditional branches test R[SrcA]; Target is an
+	// absolute instruction index resolved by the program builder.
+	BEQZ
+	BNEZ
+	JMP
+
+	// Synchronisation and termination.
+	BARRIER // all threads of the kernel rendezvous
+	HALT    // thread terminates
+
+	opCount
+)
+
+var opNames = [opCount]string{
+	NOP: "nop",
+	ADD: "add", SUB: "sub", MUL: "mul", DIV: "div", REM: "rem",
+	AND: "and", OR: "or", XOR: "xor", SHL: "shl", SHR: "shr",
+	SLT: "slt", SLE: "sle", SEQ: "seq", SNE: "sne", MIN: "min", MAX: "max",
+	ADDI: "addi", MULI: "muli", ANDI: "andi", SHLI: "shli", SHRI: "shri",
+	SLTI: "slti",
+	MOVI: "movi", MOV: "mov",
+	FADD: "fadd", FSUB: "fsub", FMUL: "fmul", FDIV: "fdiv",
+	FNEG: "fneg", FABS: "fabs", FMIN: "fmin", FMAX: "fmax",
+	FSLT: "fslt", FSLE: "fsle", FMOVI: "fmovi", ITOF: "itof", FTOI: "ftoi",
+	LD: "ld", ST: "st",
+	BEQZ: "beqz", BNEZ: "bnez", JMP: "jmp",
+	BARRIER: "barrier", HALT: "halt",
+}
+
+// String returns the mnemonic for the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o < opCount && opNames[o] != "" }
+
+// IsMem reports whether the opcode accesses the data cache.
+func (o Op) IsMem() bool { return o == LD || o == ST }
+
+// IsBranch reports whether the opcode is a conditional branch (the only
+// instructions that can cause branch divergence).
+func (o Op) IsBranch() bool { return o == BEQZ || o == BNEZ }
+
+// IsControl reports whether the opcode redirects the PC.
+func (o Op) IsControl() bool { return o.IsBranch() || o == JMP }
+
+// IsFloat reports whether the opcode executes on the floating-point lanes
+// (used by the energy model to charge FPU rather than integer ALU energy).
+func (o Op) IsFloat() bool { return o >= FADD && o <= FTOI }
+
+// Inst is one decoded instruction. Instructions are stored decoded — the
+// simulator models timing and behaviour, not binary encodings.
+type Inst struct {
+	Op   Op
+	Dst  Reg
+	SrcA Reg
+	SrcB Reg
+	Imm  int64
+	FImm float64
+	// Target is the absolute instruction index for control transfers,
+	// resolved from a label by the program builder.
+	Target int
+}
+
+// String disassembles the instruction.
+func (in Inst) String() string {
+	switch {
+	case in.Op == NOP || in.Op == BARRIER || in.Op == HALT:
+		return in.Op.String()
+	case in.Op == LD:
+		return fmt.Sprintf("ld r%d, %d(r%d)", in.Dst, in.Imm, in.SrcA)
+	case in.Op == ST:
+		return fmt.Sprintf("st r%d, %d(r%d)", in.SrcB, in.Imm, in.SrcA)
+	case in.Op == MOVI:
+		return fmt.Sprintf("movi r%d, %d", in.Dst, in.Imm)
+	case in.Op == FMOVI:
+		return fmt.Sprintf("fmovi r%d, %g", in.Dst, in.FImm)
+	case in.Op == MOV || in.Op == FNEG || in.Op == FABS || in.Op == ITOF || in.Op == FTOI:
+		return fmt.Sprintf("%s r%d, r%d", in.Op, in.Dst, in.SrcA)
+	case in.Op.IsBranch():
+		return fmt.Sprintf("%s r%d, @%d", in.Op, in.SrcA, in.Target)
+	case in.Op == JMP:
+		return fmt.Sprintf("jmp @%d", in.Target)
+	case in.Op >= ADDI && in.Op <= SLTI:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Dst, in.SrcA, in.Imm)
+	default:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Dst, in.SrcA, in.SrcB)
+	}
+}

@@ -1,0 +1,267 @@
+package isa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroRegisterHardwired(t *testing.T) {
+	var r RegFile
+	r.Set(0, 42)
+	if r.Get(0) != 0 {
+		t.Fatal("write to r0 was not discarded")
+	}
+	ExecALU(Inst{Op: MOVI, Dst: 0, Imm: 9}, &r)
+	if r.Get(0) != 0 {
+		t.Fatal("movi to r0 was not discarded")
+	}
+}
+
+func TestIntegerALU(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b int64
+		want int64
+	}{
+		{ADD, 3, 4, 7},
+		{SUB, 3, 4, -1},
+		{MUL, -3, 4, -12},
+		{DIV, 12, 4, 3},
+		{DIV, 12, 0, 0},
+		{REM, 13, 4, 1},
+		{REM, 13, 0, 0},
+		{AND, 0b1100, 0b1010, 0b1000},
+		{OR, 0b1100, 0b1010, 0b1110},
+		{XOR, 0b1100, 0b1010, 0b0110},
+		{SHL, 1, 4, 16},
+		{SHR, 16, 4, 1},
+		{SLT, 1, 2, 1},
+		{SLT, 2, 1, 0},
+		{SLE, 2, 2, 1},
+		{SEQ, 5, 5, 1},
+		{SNE, 5, 5, 0},
+		{MIN, 7, -2, -2},
+		{MAX, 7, -2, 7},
+	}
+	for _, c := range cases {
+		var r RegFile
+		r.Set(1, c.a)
+		r.Set(2, c.b)
+		ExecALU(Inst{Op: c.op, Dst: 3, SrcA: 1, SrcB: 2}, &r)
+		if got := r.Get(3); got != c.want {
+			t.Errorf("%s(%d,%d) = %d, want %d", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestImmediateALU(t *testing.T) {
+	var r RegFile
+	r.Set(1, 10)
+	ExecALU(Inst{Op: ADDI, Dst: 2, SrcA: 1, Imm: -3}, &r)
+	if r.Get(2) != 7 {
+		t.Fatalf("addi = %d, want 7", r.Get(2))
+	}
+	ExecALU(Inst{Op: MULI, Dst: 2, SrcA: 1, Imm: 5}, &r)
+	if r.Get(2) != 50 {
+		t.Fatalf("muli = %d, want 50", r.Get(2))
+	}
+	ExecALU(Inst{Op: SHLI, Dst: 2, SrcA: 1, Imm: 2}, &r)
+	if r.Get(2) != 40 {
+		t.Fatalf("shli = %d, want 40", r.Get(2))
+	}
+	ExecALU(Inst{Op: SHRI, Dst: 2, SrcA: 1, Imm: 1}, &r)
+	if r.Get(2) != 5 {
+		t.Fatalf("shri = %d, want 5", r.Get(2))
+	}
+	ExecALU(Inst{Op: SLTI, Dst: 2, SrcA: 1, Imm: 11}, &r)
+	if r.Get(2) != 1 {
+		t.Fatalf("slti = %d, want 1", r.Get(2))
+	}
+	ExecALU(Inst{Op: ANDI, Dst: 2, SrcA: 1, Imm: 3}, &r)
+	if r.Get(2) != 2 {
+		t.Fatalf("andi = %d, want 2", r.Get(2))
+	}
+}
+
+func TestFloatALU(t *testing.T) {
+	var r RegFile
+	r.SetF(1, 1.5)
+	r.SetF(2, 2.25)
+	ExecALU(Inst{Op: FADD, Dst: 3, SrcA: 1, SrcB: 2}, &r)
+	if r.GetF(3) != 3.75 {
+		t.Fatalf("fadd = %g", r.GetF(3))
+	}
+	ExecALU(Inst{Op: FMUL, Dst: 3, SrcA: 1, SrcB: 2}, &r)
+	if r.GetF(3) != 3.375 {
+		t.Fatalf("fmul = %g", r.GetF(3))
+	}
+	ExecALU(Inst{Op: FSUB, Dst: 3, SrcA: 2, SrcB: 1}, &r)
+	if r.GetF(3) != 0.75 {
+		t.Fatalf("fsub = %g", r.GetF(3))
+	}
+	ExecALU(Inst{Op: FDIV, Dst: 3, SrcA: 2, SrcB: 1}, &r)
+	if r.GetF(3) != 1.5 {
+		t.Fatalf("fdiv = %g", r.GetF(3))
+	}
+	ExecALU(Inst{Op: FSLT, Dst: 3, SrcA: 1, SrcB: 2}, &r)
+	if r.Get(3) != 1 {
+		t.Fatalf("fslt = %d", r.Get(3))
+	}
+	ExecALU(Inst{Op: FNEG, Dst: 3, SrcA: 1}, &r)
+	if r.GetF(3) != -1.5 {
+		t.Fatalf("fneg = %g", r.GetF(3))
+	}
+	ExecALU(Inst{Op: FABS, Dst: 4, SrcA: 3}, &r)
+	if r.GetF(4) != 1.5 {
+		t.Fatalf("fabs = %g", r.GetF(4))
+	}
+	ExecALU(Inst{Op: ITOF, Dst: 3, SrcA: 0}, &r)
+	if r.GetF(3) != 0 {
+		t.Fatalf("itof(0) = %g", r.GetF(3))
+	}
+	r.Set(5, 7)
+	ExecALU(Inst{Op: ITOF, Dst: 3, SrcA: 5}, &r)
+	if r.GetF(3) != 7 {
+		t.Fatalf("itof(7) = %g", r.GetF(3))
+	}
+	ExecALU(Inst{Op: FTOI, Dst: 6, SrcA: 3}, &r)
+	if r.Get(6) != 7 {
+		t.Fatalf("ftoi = %d", r.Get(6))
+	}
+	ExecALU(Inst{Op: FMOVI, Dst: 7, FImm: 2.5}, &r)
+	if r.GetF(7) != 2.5 {
+		t.Fatalf("fmovi = %g", r.GetF(7))
+	}
+}
+
+func TestBranchTaken(t *testing.T) {
+	var r RegFile
+	if !BranchTaken(Inst{Op: BEQZ, SrcA: 1}, &r) {
+		t.Fatal("beqz on zero should be taken")
+	}
+	if BranchTaken(Inst{Op: BNEZ, SrcA: 1}, &r) {
+		t.Fatal("bnez on zero should not be taken")
+	}
+	r.Set(1, -5)
+	if BranchTaken(Inst{Op: BEQZ, SrcA: 1}, &r) {
+		t.Fatal("beqz on nonzero should not be taken")
+	}
+	if !BranchTaken(Inst{Op: BNEZ, SrcA: 1}, &r) {
+		t.Fatal("bnez on nonzero should be taken")
+	}
+}
+
+func TestBranchTakenPanicsOnNonBranch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	var r RegFile
+	BranchTaken(Inst{Op: ADD}, &r)
+}
+
+func TestEffAddr(t *testing.T) {
+	var r RegFile
+	r.Set(4, 1000)
+	got := EffAddr(Inst{Op: LD, SrcA: 4, Imm: 24}, &r)
+	if got != 1024 {
+		t.Fatalf("EffAddr = %d, want 1024", got)
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	if !LD.IsMem() || !ST.IsMem() || ADD.IsMem() {
+		t.Fatal("IsMem misclassifies")
+	}
+	if !BEQZ.IsBranch() || !BNEZ.IsBranch() || JMP.IsBranch() {
+		t.Fatal("IsBranch misclassifies")
+	}
+	if !JMP.IsControl() || !BEQZ.IsControl() || HALT.IsControl() {
+		t.Fatal("IsControl misclassifies")
+	}
+	if !FADD.IsFloat() || ADD.IsFloat() || LD.IsFloat() {
+		t.Fatal("IsFloat misclassifies")
+	}
+}
+
+func TestOpStringsDefined(t *testing.T) {
+	for o := Op(0); o < opCount; o++ {
+		if !o.Valid() {
+			t.Errorf("opcode %d has no name", o)
+		}
+	}
+	if Op(200).Valid() {
+		t.Fatal("out-of-range opcode reported valid")
+	}
+}
+
+func TestInstDisassembly(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: LD, Dst: 5, SrcA: 4, Imm: 8}, "ld r5, 8(r4)"},
+		{Inst{Op: ST, SrcB: 6, SrcA: 4, Imm: 0}, "st r6, 0(r4)"},
+		{Inst{Op: BEQZ, SrcA: 2, Target: 17}, "beqz r2, @17"},
+		{Inst{Op: JMP, Target: 3}, "jmp @3"},
+		{Inst{Op: ADD, Dst: 1, SrcA: 2, SrcB: 3}, "add r1, r2, r3"},
+		{Inst{Op: ADDI, Dst: 1, SrcA: 2, Imm: -4}, "addi r1, r2, -4"},
+		{Inst{Op: MOVI, Dst: 9, Imm: 11}, "movi r9, 11"},
+		{Inst{Op: HALT}, "halt"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// Property: float round-trip through register bits is exact.
+func TestPropertyFloatRoundTrip(t *testing.T) {
+	f := func(v float64) bool {
+		var r RegFile
+		r.SetF(1, v)
+		got := r.GetF(1)
+		return got == v || (math.IsNaN(v) && math.IsNaN(got))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SLT/SLE/SEQ/SNE agree with Go comparisons for all inputs.
+func TestPropertyComparisons(t *testing.T) {
+	f := func(a, b int64) bool {
+		var r RegFile
+		r.Set(1, a)
+		r.Set(2, b)
+		check := func(op Op, want bool) bool {
+			ExecALU(Inst{Op: op, Dst: 3, SrcA: 1, SrcB: 2}, &r)
+			return (r.Get(3) == 1) == want
+		}
+		ok := check(SLT, a < b) && check(SLE, a <= b) &&
+			check(SEQ, a == b) && check(SNE, a != b)
+		ExecALU(Inst{Op: MIN, Dst: 3, SrcA: 1, SrcB: 2}, &r)
+		return ok && r.Get(3) == min(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ADD/SUB are inverses.
+func TestPropertyAddSubInverse(t *testing.T) {
+	f := func(a, b int64) bool {
+		var r RegFile
+		r.Set(1, a)
+		r.Set(2, b)
+		ExecALU(Inst{Op: ADD, Dst: 3, SrcA: 1, SrcB: 2}, &r)
+		ExecALU(Inst{Op: SUB, Dst: 4, SrcA: 3, SrcB: 2}, &r)
+		return r.Get(4) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

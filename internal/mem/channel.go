@@ -1,0 +1,42 @@
+package mem
+
+import "repro/internal/engine"
+
+// Channel models a shared transfer resource (the L1↔L2 crossbar, the memory
+// bus) with a fixed per-message latency and a serial occupancy per message.
+// Messages queue FIFO when the channel is busy, so burst traffic sees
+// realistic queuing delay on top of the base latency.
+type Channel struct {
+	q *engine.Queue
+	// Latency is the pipelined transfer latency charged to every message.
+	Latency engine.Cycle
+	// Occupancy is how long each message holds the channel; it bounds
+	// throughput to one message per Occupancy cycles.
+	Occupancy engine.Cycle
+
+	busyUntil engine.Cycle
+	transfers uint64
+}
+
+// NewChannel returns a channel bound to the event queue.
+func NewChannel(q *engine.Queue, latency, occupancy engine.Cycle) *Channel {
+	if occupancy == 0 {
+		occupancy = 1
+	}
+	return &Channel{q: q, Latency: latency, Occupancy: occupancy}
+}
+
+// Send delivers fn after the channel's queuing delay plus latency.
+func (c *Channel) Send(fn func()) {
+	now := c.q.Now()
+	start := now
+	if c.busyUntil > start {
+		start = c.busyUntil
+	}
+	c.busyUntil = start + c.Occupancy
+	c.transfers++
+	c.q.At(start+c.Latency, fn)
+}
+
+// Transfers reports how many messages have crossed the channel.
+func (c *Channel) Transfers() uint64 { return c.transfers }

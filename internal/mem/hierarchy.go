@@ -1,0 +1,102 @@
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+)
+
+// HierarchyConfig assembles the full memory system of Table 3: per-WPU
+// private L1 D-caches, a crossbar, the shared inclusive L2, the memory bus,
+// and DRAM.
+type HierarchyConfig struct {
+	L1 L1Config
+	L2 L2Config
+	// XbarLat/XbarOcc model the L1↔L2 crossbar (300 MHz, 57 GB/s in the
+	// paper: ≈2 cycles of occupancy per 128 B line at 1 GHz).
+	XbarLat engine.Cycle
+	XbarOcc engine.Cycle
+	// MemBusOcc models the 16 GB/s memory bus (≈8 cycles per line).
+	MemBusOcc engine.Cycle
+	DRAMLat   engine.Cycle
+}
+
+// Hierarchy is the assembled memory system shared by all WPUs.
+type Hierarchy struct {
+	Mem  *Memory
+	L1s  []*L1
+	L2   *L2
+	Xbar *Channel
+	Bus  *Channel
+	DRAM *DRAM
+}
+
+// NewHierarchy builds the memory system with numL1 private caches attached.
+func NewHierarchy(q *engine.Queue, numL1 int, cfg HierarchyConfig) *Hierarchy {
+	h := &Hierarchy{
+		Mem:  NewMemory(),
+		Xbar: NewChannel(q, cfg.XbarLat, cfg.XbarOcc),
+		Bus:  NewChannel(q, 0, cfg.MemBusOcc),
+	}
+	h.DRAM = NewDRAM(q, h.Bus, cfg.DRAMLat)
+	h.L2 = NewL2(q, cfg.L2, h.DRAM)
+	for i := 0; i < numL1; i++ {
+		h.L1s = append(h.L1s, NewL1(i, q, cfg.L1, h.Xbar, h.L2))
+	}
+	return h
+}
+
+// CheckCoherence validates the global MESI invariants; tests and the
+// simulator's debug mode call it. It returns a description of the first
+// violation found, or "".
+//
+// Invariants checked (over installed lines, i.e. ignoring in-flight fills):
+//   - single writer: at most one L1 holds a line Modified/Exclusive, and
+//     then no other L1 holds it at all;
+//   - directory precision: an L1 holding a line S appears in the sharer
+//     set, and an L1 holding M/E is the registered owner;
+//   - inclusion: every line in an L1 is present in the L2.
+func (h *Hierarchy) CheckCoherence() string {
+	type holder struct {
+		id    int
+		state Coherence
+	}
+	holders := make(map[uint64][]holder)
+	for _, c := range h.L1s {
+		id := c.ID
+		c.store.forEachValid(func(w *way) {
+			holders[w.lineAddr] = append(holders[w.lineAddr], holder{id, w.state})
+		})
+	}
+	for lineAddr, hs := range holders {
+		l2w := h.L2.st.lookup(lineAddr)
+		if l2w == nil {
+			return sprintf("inclusion violated: line %#x in L1 but not L2", lineAddr)
+		}
+		exclusive := -1
+		for _, x := range hs {
+			if x.state == Modified || x.state == Exclusive {
+				exclusive = x.id
+			}
+		}
+		if exclusive >= 0 {
+			if len(hs) > 1 {
+				return sprintf("single-writer violated: line %#x held by %d L1s with an M/E copy", lineAddr, len(hs))
+			}
+			if int(l2w.owner) != exclusive {
+				return sprintf("directory owner for %#x is %d, want %d", lineAddr, l2w.owner, exclusive)
+			}
+			continue
+		}
+		for _, x := range hs {
+			if l2w.sharers&(1<<uint(x.id)) == 0 {
+				return sprintf("directory sharers for %#x miss L1 %d", lineAddr, x.id)
+			}
+		}
+	}
+	return ""
+}
+
+func sprintf(format string, args ...any) string {
+	return fmt.Sprintf(format, args...)
+}

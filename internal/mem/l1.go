@@ -1,0 +1,321 @@
+package mem
+
+import "repro/internal/engine"
+
+// L1Config sizes a private data cache (Table 3 defaults are in sim).
+type L1Config struct {
+	SizeBytes int
+	Ways      int // 0 = fully associative
+	LineSize  uint64
+	HitLat    engine.Cycle
+	Banks     int
+	MSHRs     int
+}
+
+// L1Stats counts events observed by one L1 cache.
+type L1Stats struct {
+	Accesses     uint64
+	Hits         uint64
+	Misses       uint64 // primary misses (MSHR allocations)
+	Merges       uint64 // secondary misses coalesced into an existing MSHR
+	Upgrades     uint64 // stores that hit Shared and needed exclusivity
+	Writebacks   uint64 // dirty evictions to L2
+	Evictions    uint64
+	Invalidates  uint64 // lines invalidated by directory probes
+	Downgrades   uint64 // M/E lines downgraded to S by directory probes
+	BankQueuing  uint64 // cycles spent waiting on busy banks
+	MSHRStalls   uint64 // requests that waited because all MSHRs were busy
+	ReadAccesses uint64
+}
+
+type l1Done struct {
+	fn    func()
+	write bool
+}
+
+type l1MSHR struct {
+	lineAddr uint64
+	write    bool // requested exclusive permission
+	// upgradeWanted is set when a store merges into a read request that has
+	// already been dispatched; a second, exclusive request is issued when
+	// the first fill returns without write permission.
+	upgradeWanted bool
+	dones         []l1Done
+}
+
+type l1Waiter struct {
+	lineAddr uint64
+	write    bool
+	done     func()
+}
+
+// L1 is a private, banked, write-back, write-allocate data cache with MSHRs
+// that coalesce requests to the same line (the paper's memory coalescing at
+// the L1, §3.3).
+type L1 struct {
+	ID int
+
+	q     *engine.Queue
+	store *store
+	cfg   L1Config
+	xbar  *Channel
+	l2    *L2
+
+	mshrs    map[uint64]*l1MSHR
+	waiting  []l1Waiter // overflow when all MSHRs are busy
+	bankFree []engine.Cycle
+
+	Stats L1Stats
+}
+
+// NewL1 builds an L1 connected to the shared L2 through the crossbar.
+func NewL1(id int, q *engine.Queue, cfg L1Config, xbar *Channel, l2 *L2) *L1 {
+	if cfg.Banks <= 0 {
+		cfg.Banks = 1
+	}
+	if cfg.MSHRs <= 0 {
+		cfg.MSHRs = 1
+	}
+	c := &L1{
+		ID:       id,
+		q:        q,
+		store:    newStore(cfg.SizeBytes, cfg.Ways, cfg.LineSize),
+		cfg:      cfg,
+		xbar:     xbar,
+		l2:       l2,
+		mshrs:    make(map[uint64]*l1MSHR),
+		bankFree: make([]engine.Cycle, cfg.Banks),
+	}
+	l2.attach(c)
+	return c
+}
+
+// Line returns the line-aligned address containing addr; the WPU uses it to
+// coalesce the per-thread addresses of a SIMD memory instruction.
+func (c *L1) Line(addr uint64) uint64 { return c.store.Line(addr) }
+
+// Access issues a load (write=false) or store (write=true) covering one
+// cache line. It reports synchronously whether the access hits — the WPU
+// needs the hit mask at issue time to drive memory-divergence subdivision —
+// and schedules done when the access completes (after the hit latency for
+// hits, or when the fill returns for misses).
+func (c *L1) Access(addr uint64, write bool, done func()) (hit bool) {
+	c.Stats.Accesses++
+	if !write {
+		c.Stats.ReadAccesses++
+	}
+	lineAddr := c.store.Line(addr)
+
+	// A line with an in-flight fill still counts as a miss: the grant may
+	// have installed coherence state already, but the data has not crossed
+	// the crossbar yet.
+	if m, ok := c.mshrs[lineAddr]; ok {
+		c.Stats.Merges++
+		m.dones = append(m.dones, l1Done{fn: done, write: write})
+		if write && !m.write {
+			m.upgradeWanted = true
+		}
+		return false
+	}
+
+	if w := c.store.lookup(lineAddr); w != nil {
+		permOK := !write || w.state == Modified || w.state == Exclusive
+		if permOK {
+			c.Stats.Hits++
+			if write {
+				w.state = Modified
+				w.dirty = true
+			}
+			c.store.touch(w)
+			c.scheduleHit(lineAddr, done)
+			return true
+		}
+		// Store hitting a Shared line: the data is here but exclusivity is
+		// not — an upgrade miss.
+		c.Stats.Upgrades++
+	}
+	c.missPath(lineAddr, write, done)
+	return false
+}
+
+func (c *L1) scheduleHit(lineAddr uint64, done func()) {
+	bank := int((lineAddr / c.cfg.LineSize) % uint64(c.cfg.Banks))
+	start := c.q.Now()
+	if c.bankFree[bank] > start {
+		c.Stats.BankQueuing += uint64(c.bankFree[bank] - start)
+		start = c.bankFree[bank]
+	}
+	c.bankFree[bank] = start + 1 // banks accept one access per cycle
+	c.q.At(start+c.cfg.HitLat, done)
+}
+
+func (c *L1) missPath(lineAddr uint64, write bool, done func()) {
+	if len(c.mshrs) >= c.cfg.MSHRs {
+		c.Stats.MSHRStalls++
+		c.waiting = append(c.waiting, l1Waiter{lineAddr: lineAddr, write: write, done: done})
+		return
+	}
+	c.allocMSHR(lineAddr, write, done)
+}
+
+func (c *L1) allocMSHR(lineAddr uint64, write bool, done func()) {
+	c.Stats.Misses++
+	m := &l1MSHR{lineAddr: lineAddr, write: write}
+	if done != nil {
+		m.dones = append(m.dones, l1Done{fn: done, write: write})
+	}
+	c.mshrs[lineAddr] = m
+	c.dispatch(m, write)
+}
+
+func (c *L1) dispatch(m *l1MSHR, write bool) {
+	c.xbar.Send(func() {
+		c.l2.Request(c.ID, m.lineAddr, write, func(granted Coherence, penalty engine.Cycle) {
+			// Install coherence state atomically with the directory grant so
+			// L1 state and directory state never disagree; the data (and so
+			// the waiters' completion) still pays the probe penalty plus the
+			// return crossbar hop.
+			c.install(m, granted)
+			c.q.After(penalty, func() {
+				c.xbar.Send(func() { c.complete(m, granted) })
+			})
+		})
+	})
+}
+
+// install places the granted line in the array at directory-grant time.
+func (c *L1) install(m *l1MSHR, granted Coherence) {
+	w := c.store.lookup(m.lineAddr)
+	if w == nil {
+		w = c.store.victim(m.lineAddr)
+		c.evict(w)
+		w.valid = true
+		w.lineAddr = m.lineAddr
+		w.dirty = false
+	}
+	w.state = granted
+	if m.write {
+		w.state = Modified
+		w.dirty = true
+	}
+	c.store.touch(w)
+}
+
+// complete fires the MSHR's callbacks once the fill data has crossed the
+// crossbar, issuing a follow-up exclusive request when a store merged into
+// a read that was granted only Shared.
+func (c *L1) complete(m *l1MSHR, granted Coherence) {
+	if m.upgradeWanted && granted != Modified && granted != Exclusive {
+		var writes []l1Done
+		for _, d := range m.dones {
+			if d.write {
+				writes = append(writes, d)
+			} else {
+				c.q.After(0, d.fn)
+			}
+		}
+		m.dones = writes
+		m.write = true
+		m.upgradeWanted = false
+		c.Stats.Upgrades++
+		c.dispatch(m, true)
+		return
+	}
+	if m.upgradeWanted {
+		// Grant was exclusive-capable; promote in place.
+		if w := c.store.lookup(m.lineAddr); w != nil {
+			w.state = Modified
+			w.dirty = true
+		}
+	}
+	for _, d := range m.dones {
+		c.q.After(0, d.fn)
+	}
+	delete(c.mshrs, m.lineAddr)
+	c.drainWaiting()
+}
+
+func (c *L1) drainWaiting() {
+	for len(c.waiting) > 0 && len(c.mshrs) < c.cfg.MSHRs {
+		wt := c.waiting[0]
+		c.waiting = c.waiting[1:]
+		if m, ok := c.mshrs[wt.lineAddr]; ok {
+			m.dones = append(m.dones, l1Done{fn: wt.done, write: wt.write})
+			if wt.write && !m.write {
+				m.upgradeWanted = true
+			}
+			continue
+		}
+		// Re-check the cache: an earlier fill may already cover this line.
+		if w := c.store.lookup(wt.lineAddr); w != nil &&
+			(!wt.write || w.state == Modified || w.state == Exclusive) {
+			if wt.write {
+				w.state = Modified
+				w.dirty = true
+			}
+			c.scheduleHit(wt.lineAddr, wt.done)
+			continue
+		}
+		c.allocMSHR(wt.lineAddr, wt.write, wt.done)
+	}
+}
+
+// evict releases a frame, writing back dirty data and informing the
+// directory so its sharer state stays precise.
+func (c *L1) evict(w *way) {
+	if !w.valid {
+		return
+	}
+	c.Stats.Evictions++
+	if w.dirty {
+		c.Stats.Writebacks++
+		c.xbar.Send(func() {}) // dirty data occupies the crossbar
+	}
+	c.l2.put(c.ID, w.lineAddr, w.dirty)
+	w.valid = false
+	w.state = Invalid
+	w.dirty = false
+}
+
+// invalidateLine services a directory probe that revokes this cache's copy.
+// It reports whether the line held dirty data.
+func (c *L1) invalidateLine(lineAddr uint64) (wasDirty bool) {
+	w := c.store.lookup(lineAddr)
+	if w == nil {
+		return false
+	}
+	c.Stats.Invalidates++
+	wasDirty = w.dirty
+	w.valid = false
+	w.state = Invalid
+	w.dirty = false
+	return wasDirty
+}
+
+// downgradeLine services a directory probe demoting M/E to S, returning
+// whether dirty data was flushed to the L2.
+func (c *L1) downgradeLine(lineAddr uint64) (wasDirty bool) {
+	w := c.store.lookup(lineAddr)
+	if w == nil {
+		return false
+	}
+	if w.state == Modified || w.state == Exclusive {
+		c.Stats.Downgrades++
+		wasDirty = w.dirty
+		w.state = Shared
+		w.dirty = false
+	}
+	return wasDirty
+}
+
+// OutstandingMisses reports the number of busy MSHRs (used by tests and the
+// MLP statistics).
+func (c *L1) OutstandingMisses() int { return len(c.mshrs) }
+
+// MissRate returns misses (primary + coalesced) over accesses.
+func (s L1Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses+s.Merges) / float64(s.Accesses)
+}

@@ -1,0 +1,274 @@
+package mem
+
+import "repro/internal/engine"
+
+// L2Config sizes the shared last-level cache.
+type L2Config struct {
+	SizeBytes int
+	Ways      int // 0 = fully associative
+	LineSize  uint64
+	// LookupLat is the tag+data lookup latency (the paper sweeps this from
+	// 10 to 300 cycles in Figure 16).
+	LookupLat engine.Cycle
+	// ProbeLat is the extra round-trip charged when the directory must
+	// invalidate or downgrade a remote L1 copy before answering.
+	ProbeLat engine.Cycle
+	MSHRs    int
+}
+
+// L2Stats counts events observed by the shared L2 and its directory.
+type L2Stats struct {
+	Requests    uint64
+	Hits        uint64
+	Misses      uint64
+	Merges      uint64 // requests coalesced into an in-flight fetch
+	ProbeInvals uint64 // directory-initiated L1 invalidations
+	ProbeDowngr uint64 // directory-initiated L1 downgrades
+	Evictions   uint64
+	Writebacks  uint64 // dirty evictions to memory
+	InclInvals  uint64 // inclusive-eviction invalidations of L1 copies
+}
+
+// l2Req is one L1 request queued at the directory. reply is invoked
+// synchronously at grant time — L1 coherence state must install atomically
+// with the directory decision or later grants could race it — and receives
+// the probe penalty the requester must add to its completion time.
+type l2Req struct {
+	from  int
+	write bool
+	reply func(granted Coherence, penalty engine.Cycle)
+}
+
+type l2MSHR struct {
+	lineAddr uint64
+	reqs     []l2Req
+}
+
+// L2 is the inclusive shared last-level cache with a full-map directory
+// implementing MESI over the private L1s. Directory state lives in the line
+// frames (sharers bitmask + owner).
+type L2 struct {
+	q    *engine.Queue
+	st   *store
+	cfg  L2Config
+	dram *DRAM
+	l1s  []*L1
+
+	mshrs map[uint64]*l2MSHR
+
+	Stats L2Stats
+}
+
+// NewL2 builds the shared cache in front of dram.
+func NewL2(q *engine.Queue, cfg L2Config, dram *DRAM) *L2 {
+	if cfg.MSHRs <= 0 {
+		cfg.MSHRs = 1
+	}
+	return &L2{
+		q:     q,
+		st:    newStore(cfg.SizeBytes, cfg.Ways, cfg.LineSize),
+		cfg:   cfg,
+		dram:  dram,
+		mshrs: make(map[uint64]*l2MSHR),
+	}
+}
+
+func (l *L2) attach(c *L1) {
+	if c.ID != len(l.l1s) {
+		panic("mem: L1 IDs must be attached in order")
+	}
+	l.l1s = append(l.l1s, c)
+}
+
+// Request is called (already delayed by the crossbar) when an L1 misses.
+// reply is invoked with the granted MESI state once the directory can
+// satisfy the request; the caller adds the return crossbar hop.
+func (l *L2) Request(from int, lineAddr uint64, write bool, reply func(Coherence, engine.Cycle)) {
+	l.Stats.Requests++
+	l.q.After(l.cfg.LookupLat, func() {
+		if w := l.st.lookup(lineAddr); w != nil {
+			l.Stats.Hits++
+			l.grant(w, l2Req{from: from, write: write, reply: reply})
+			return
+		}
+		l.missPath(lineAddr, l2Req{from: from, write: write, reply: reply})
+	})
+}
+
+// grant runs the directory protocol for one request against a present line
+// and schedules the reply (plus probe latency when remote copies had to be
+// revoked).
+func (l *L2) grant(w *way, r l2Req) {
+	var penalty engine.Cycle
+	me := uint64(1) << uint(r.from)
+
+	if r.write {
+		if w.owner >= 0 && int(w.owner) != r.from {
+			if l.l1s[w.owner].invalidateLine(w.lineAddr) {
+				w.dirty = true
+			}
+			l.Stats.ProbeInvals++
+			penalty = l.cfg.ProbeLat
+		}
+		if rem := w.sharers &^ me; rem != 0 {
+			for id := 0; id < len(l.l1s); id++ {
+				if rem&(1<<uint(id)) != 0 {
+					l.l1s[id].invalidateLine(w.lineAddr)
+					l.Stats.ProbeInvals++
+				}
+			}
+			penalty = l.cfg.ProbeLat
+		}
+		w.sharers = 0
+		w.owner = int8(r.from)
+		l.finish(w, r, Modified, penalty)
+		return
+	}
+
+	// Read request.
+	switch {
+	case w.owner >= 0 && int(w.owner) != r.from:
+		if l.l1s[w.owner].downgradeLine(w.lineAddr) {
+			w.dirty = true
+		}
+		l.Stats.ProbeDowngr++
+		penalty = l.cfg.ProbeLat
+		w.sharers |= (1 << uint(w.owner)) | me
+		w.owner = -1
+		l.finish(w, r, Shared, penalty)
+	case w.owner == int8(r.from):
+		// Requester already owns it (e.g. it evicted silently in a race);
+		// re-grant exclusivity.
+		l.finish(w, r, Exclusive, 0)
+	case w.sharers == 0:
+		w.owner = int8(r.from)
+		l.finish(w, r, Exclusive, 0)
+	default:
+		w.sharers |= me
+		l.finish(w, r, Shared, penalty)
+	}
+}
+
+func (l *L2) finish(w *way, r l2Req, granted Coherence, penalty engine.Cycle) {
+	l.st.touch(w)
+	r.reply(granted, penalty)
+}
+
+func (l *L2) missPath(lineAddr uint64, r l2Req) {
+	if m, ok := l.mshrs[lineAddr]; ok {
+		l.Stats.Merges++
+		m.reqs = append(m.reqs, r)
+		return
+	}
+	l.Stats.Misses++
+	// The L2 has 256 MSHRs (Table 3); at simulated scale the bound is never
+	// the limiter, but respect it anyway by queuing behind an arbitrary
+	// existing MSHR when full (bounded structures should stay bounded).
+	if len(l.mshrs) >= l.cfg.MSHRs {
+		for _, m := range l.mshrs {
+			m.reqs = append(m.reqs, r)
+			return
+		}
+	}
+	m := &l2MSHR{lineAddr: lineAddr, reqs: []l2Req{r}}
+	l.mshrs[lineAddr] = m
+	l.dram.Fetch(func() { l.fill(m) })
+}
+
+// fill installs a memory line and answers the queued requesters in order.
+func (l *L2) fill(m *l2MSHR) {
+	w := l.st.lookup(m.lineAddr)
+	if w == nil {
+		w = l.st.victim(m.lineAddr)
+		l.evict(w)
+		w.valid = true
+		w.lineAddr = m.lineAddr
+		w.dirty = false
+		w.sharers = 0
+		w.owner = -1
+	}
+	delete(l.mshrs, m.lineAddr)
+	for _, r := range m.reqs {
+		l.grant(w, r)
+	}
+}
+
+// evict releases an L2 frame. Inclusivity requires revoking any L1 copies;
+// dirty data (local or flushed from an owner) is written back to memory.
+func (l *L2) evict(w *way) {
+	if !w.valid {
+		return
+	}
+	l.Stats.Evictions++
+	if w.owner >= 0 {
+		if l.l1s[w.owner].invalidateLine(w.lineAddr) {
+			w.dirty = true
+		}
+		l.Stats.InclInvals++
+	}
+	for id := 0; id < len(l.l1s) && w.sharers != 0; id++ {
+		if w.sharers&(1<<uint(id)) != 0 {
+			l.l1s[id].invalidateLine(w.lineAddr)
+			l.Stats.InclInvals++
+		}
+	}
+	if w.dirty {
+		l.Stats.Writebacks++
+		l.dram.Writeback()
+	}
+	w.valid = false
+	w.sharers = 0
+	w.owner = -1
+	w.dirty = false
+}
+
+// put records an L1 eviction (clean or dirty) so the directory stays
+// precise. Dirty data merges into the L2 copy.
+func (l *L2) put(from int, lineAddr uint64, dirty bool) {
+	w := l.st.lookup(lineAddr)
+	if w == nil {
+		// The L2 already evicted this line (the inclusive invalidation and
+		// the L1's own eviction raced); the data went to memory then.
+		return
+	}
+	me := uint64(1) << uint(from)
+	w.sharers &^= me
+	if w.owner == int8(from) {
+		w.owner = -1
+	}
+	if dirty {
+		w.dirty = true
+	}
+}
+
+// DRAM models main memory behind the L2: a fixed access latency plus a
+// bandwidth-limited memory bus, with the controller pipelining requests
+// (Table 3: 100-cycle latency, 16 GB/s bus).
+type DRAM struct {
+	q   *engine.Queue
+	bus *Channel
+	// Latency is the device access time charged after the bus transfer.
+	Latency engine.Cycle
+
+	Accesses   uint64
+	WritebackN uint64
+}
+
+// NewDRAM builds the memory model on the given bus.
+func NewDRAM(q *engine.Queue, bus *Channel, latency engine.Cycle) *DRAM {
+	return &DRAM{q: q, bus: bus, Latency: latency}
+}
+
+// Fetch schedules done after the bus queuing plus device latency.
+func (d *DRAM) Fetch(done func()) {
+	d.Accesses++
+	d.bus.Send(func() { d.q.After(d.Latency, done) })
+}
+
+// Writeback consumes bus bandwidth for an evicted dirty line; no one waits
+// for it.
+func (d *DRAM) Writeback() {
+	d.Accesses++
+	d.WritebackN++
+	d.bus.Send(func() {})
+}

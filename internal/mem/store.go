@@ -1,0 +1,131 @@
+package mem
+
+// Coherence is the MESI state of a line held in an L1 cache.
+type Coherence uint8
+
+// MESI states. The L2 directory grants Exclusive on unshared reads (the E
+// optimisation), Shared otherwise, and Modified for writes.
+const (
+	Invalid Coherence = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+// String returns the one-letter MESI name.
+func (c Coherence) String() string {
+	switch c {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return "?"
+}
+
+// way is one line frame. The directory fields (sharers, owner) are used
+// only by the L2; an L1 uses state/dirty.
+type way struct {
+	lineAddr uint64
+	valid    bool
+	state    Coherence
+	dirty    bool
+	sharers  uint64 // L2 directory: bitmask of L1 IDs holding the line Shared
+	owner    int8   // L2 directory: L1 ID holding E/M, or -1
+	lastUse  uint64
+}
+
+// store is a set-associative line array with LRU replacement. Ways == 0 at
+// construction selects full associativity.
+type store struct {
+	sets     [][]way
+	numSets  int
+	ways     int
+	lineSize uint64
+	useClock uint64
+}
+
+func newStore(sizeBytes, ways int, lineSize uint64) *store {
+	if lineSize == 0 || lineSize&(lineSize-1) != 0 {
+		panic("mem: line size must be a power of two")
+	}
+	lines := sizeBytes / int(lineSize)
+	if lines == 0 {
+		panic("mem: cache smaller than one line")
+	}
+	if ways <= 0 || ways > lines {
+		ways = lines // fully associative
+	}
+	numSets := lines / ways
+	if numSets == 0 {
+		numSets = 1
+	}
+	s := &store{
+		sets:     make([][]way, numSets),
+		numSets:  numSets,
+		ways:     ways,
+		lineSize: lineSize,
+	}
+	for i := range s.sets {
+		s.sets[i] = make([]way, ways)
+		for j := range s.sets[i] {
+			s.sets[i][j].owner = -1
+		}
+	}
+	return s
+}
+
+// Line returns the line-aligned address containing addr.
+func (s *store) Line(addr uint64) uint64 { return addr &^ (s.lineSize - 1) }
+
+func (s *store) setOf(lineAddr uint64) []way {
+	return s.sets[(lineAddr/s.lineSize)%uint64(s.numSets)]
+}
+
+// lookup returns the frame holding lineAddr, or nil.
+func (s *store) lookup(lineAddr uint64) *way {
+	set := s.setOf(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].lineAddr == lineAddr {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// touch marks a frame most-recently-used.
+func (s *store) touch(w *way) {
+	s.useClock++
+	w.lastUse = s.useClock
+}
+
+// victim returns the frame to fill for lineAddr: an invalid frame if one
+// exists, otherwise the least recently used.
+func (s *store) victim(lineAddr uint64) *way {
+	set := s.setOf(lineAddr)
+	var lru *way
+	for i := range set {
+		if !set[i].valid {
+			return &set[i]
+		}
+		if lru == nil || set[i].lastUse < lru.lastUse {
+			lru = &set[i]
+		}
+	}
+	return lru
+}
+
+// forEachValid visits every valid frame (used for statistics and tests).
+func (s *store) forEachValid(fn func(*way)) {
+	for i := range s.sets {
+		for j := range s.sets[i] {
+			if s.sets[i][j].valid {
+				fn(&s.sets[i][j])
+			}
+		}
+	}
+}

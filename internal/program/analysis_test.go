@@ -1,0 +1,267 @@
+package program
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// Analysis edge cases beyond the basic CFG tests: multi-exit loops,
+// branch-to-self, chains of empty arms, and the interaction of the
+// subdivide heuristic with loop structure.
+
+func TestLoopWithTwoExits(t *testing.T) {
+	//	head:  slt r5, r4, r2 ; beqz r5, exitA
+	//	       andi r6, r4, 1 ; bnez r6, exitB
+	//	       addi r4, r4, 1 ; jmp head
+	//	exitA: halt
+	//	exitB: halt
+	b := NewBuilder("twoexit")
+	b.Label("head")
+	b.Slt(5, 4, 2)
+	b.Beqz(5, "exitA") // pc 1
+	b.Andi(6, 4, 1)
+	b.Bnez(6, "exitB") // pc 3
+	b.Addi(4, 4, 1)
+	b.Jmp("head")
+	b.Label("exitA")
+	b.Halt()
+	b.Label("exitB")
+	b.Halt()
+	p := b.MustBuild()
+
+	// Neither branch's paths re-join before exit: both arms halt on
+	// different instructions.
+	for _, pc := range []int{1, 3} {
+		bi, ok := p.Branch(pc)
+		if !ok {
+			t.Fatalf("branch at %d missing", pc)
+		}
+		if bi.IPdom != NoIPdom {
+			t.Fatalf("branch %d ipdom = %d, want NoIPdom (exits diverge)", pc, bi.IPdom)
+		}
+		if bi.Subdividable {
+			t.Fatalf("branch %d subdividable without an ipdom", pc)
+		}
+	}
+}
+
+func TestDiamondInsideLoop(t *testing.T) {
+	// A classic diamond nested in a loop: the diamond's ipdom is the join
+	// inside the loop, not the loop exit.
+	b := NewBuilder("diamond")
+	b.Movi(4, 0)
+	b.Label("head")
+	b.Slt(5, 4, 2)
+	b.Beqz(5, "exit") // pc 2
+	b.Andi(6, 4, 1)
+	b.Bnez(6, "left") // pc 4
+	b.Addi(7, 7, 1)
+	b.Addi(7, 7, 2)
+	b.Jmp("join")
+	b.Label("left")
+	b.Addi(7, 7, 3)
+	b.Label("join")
+	b.Addi(4, 4, 1) // pc 9
+	b.Jmp("head")
+	b.Label("exit")
+	b.Halt() // pc 11
+	p := b.MustBuild()
+
+	inner, _ := p.Branch(4)
+	if inner.IPdom != 9 {
+		t.Fatalf("diamond ipdom = %d, want 9", inner.IPdom)
+	}
+	outer, _ := p.Branch(2)
+	if outer.IPdom != 11 {
+		t.Fatalf("loop-exit ipdom = %d, want 11", outer.IPdom)
+	}
+}
+
+func TestSequentialDiamonds(t *testing.T) {
+	// Two diamonds in a row: each branch re-converges at its own join,
+	// not at the program end.
+	b := NewBuilder("seq")
+	b.Bnez(1, "a1") // pc 0
+	b.Nop()
+	b.Jmp("j1")
+	b.Label("a1")
+	b.Nop()
+	b.Label("j1")
+	b.Bnez(2, "a2") // pc 4
+	b.Nop()
+	b.Jmp("j2")
+	b.Label("a2")
+	b.Nop()
+	b.Label("j2")
+	b.Halt() // pc 8
+	p := b.MustBuild()
+
+	b1, _ := p.Branch(0)
+	if b1.IPdom != 4 {
+		t.Fatalf("first diamond ipdom = %d, want 4", b1.IPdom)
+	}
+	b2, _ := p.Branch(4)
+	if b2.IPdom != 8 {
+		t.Fatalf("second diamond ipdom = %d, want 8", b2.IPdom)
+	}
+}
+
+func TestTriangleBranch(t *testing.T) {
+	// if-without-else: the taken edge goes straight to the join.
+	b := NewBuilder("triangle")
+	b.Bnez(1, "join") // pc 0
+	b.Nop()
+	b.Nop()
+	b.Label("join")
+	b.Halt() // pc 3
+	p := b.MustBuild()
+	bi, _ := p.Branch(0)
+	if bi.IPdom != 3 {
+		t.Fatalf("triangle ipdom = %d, want 3", bi.IPdom)
+	}
+	if !bi.Subdividable {
+		t.Fatal("short triangle join not subdividable")
+	}
+}
+
+func TestInfiniteLoopKernelBuilds(t *testing.T) {
+	// A loop with no exit other than halt-on-branch: the back edge makes
+	// the halt path the only post-dominator.
+	b := NewBuilder("inf")
+	b.Label("head")
+	b.Addi(4, 4, 1)
+	b.Slti(5, 4, 100)
+	b.Bnez(5, "head") // pc 2
+	b.Halt()
+	p := b.MustBuild()
+	bi, _ := p.Branch(2)
+	if bi.IPdom != 3 {
+		t.Fatalf("back-edge ipdom = %d, want 3 (the halt)", bi.IPdom)
+	}
+}
+
+func TestSubdividableRespectsJumpOnlyBlocks(t *testing.T) {
+	// The block after the post-dominator is a single jump: trivially short,
+	// so the branch subdivides.
+	b := NewBuilder("jmpblock")
+	b.Label("head")
+	b.Bnez(1, "arm") // pc 1... (label first)
+	b.Nop()
+	b.Jmp("join")
+	b.Label("arm")
+	b.Nop()
+	b.Label("join")
+	b.Jmp("tail")
+	b.Label("tail")
+	b.Halt()
+	p := b.MustBuild()
+	bi, ok := p.Branch(0)
+	if !ok {
+		t.Fatal("branch missing")
+	}
+	if !bi.Subdividable {
+		t.Fatal("jump-only join block should be subdividable")
+	}
+}
+
+func TestBlocksOfEveryProgramPartitionCode(t *testing.T) {
+	// Property over the suite of shapes above: blocks tile the code with
+	// no gaps and all successors in range.
+	builders := []func() *Program{
+		func() *Program {
+			b := NewBuilder("p1")
+			b.Bnez(1, "x")
+			b.Nop()
+			b.Label("x")
+			b.Halt()
+			return b.MustBuild()
+		},
+		func() *Program {
+			b := NewBuilder("p2")
+			b.Label("l")
+			b.Addi(4, 4, 1)
+			b.Slti(5, 4, 3)
+			b.Bnez(5, "l")
+			b.Halt()
+			return b.MustBuild()
+		},
+	}
+	for _, mk := range builders {
+		p := mk()
+		pc := 0
+		for _, blk := range p.Blocks {
+			if blk.Start != pc {
+				t.Fatalf("%s: gap before block %d", p.Name, blk.ID)
+			}
+			if blk.End <= blk.Start {
+				t.Fatalf("%s: empty block %d", p.Name, blk.ID)
+			}
+			for _, s := range blk.Succ {
+				if s < 0 || s >= len(p.Blocks) {
+					t.Fatalf("%s: successor %d out of range", p.Name, s)
+				}
+			}
+			pc = blk.End
+		}
+		if pc != len(p.Code) {
+			t.Fatalf("%s: blocks do not cover the code", p.Name)
+		}
+	}
+}
+
+func TestBuilderHelpersEmitExpectedOpcodes(t *testing.T) {
+	b := NewBuilder("ops")
+	b.Add(1, 2, 3)
+	b.Sub(1, 2, 3)
+	b.Mul(1, 2, 3)
+	b.Div(1, 2, 3)
+	b.Rem(1, 2, 3)
+	b.And(1, 2, 3)
+	b.Or(1, 2, 3)
+	b.Xor(1, 2, 3)
+	b.Shl(1, 2, 3)
+	b.Shr(1, 2, 3)
+	b.Slt(1, 2, 3)
+	b.Sle(1, 2, 3)
+	b.Seq(1, 2, 3)
+	b.Sne(1, 2, 3)
+	b.Min(1, 2, 3)
+	b.Max(1, 2, 3)
+	b.Fadd(1, 2, 3)
+	b.Fsub(1, 2, 3)
+	b.Fmul(1, 2, 3)
+	b.Fdiv(1, 2, 3)
+	b.Fmin(1, 2, 3)
+	b.Fmax(1, 2, 3)
+	b.Fslt(1, 2, 3)
+	b.Fsle(1, 2, 3)
+	b.Fneg(1, 2)
+	b.Fabs(1, 2)
+	b.Itof(1, 2)
+	b.Ftoi(1, 2)
+	b.Fmovi(1, 2.5)
+	b.Mov(1, 2)
+	b.Movi(1, 7)
+	b.Ld(1, 2, 8)
+	b.St(1, 2, 8)
+	b.Barrier()
+	b.Halt()
+	p := b.MustBuild()
+	want := []isa.Op{
+		isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.REM,
+		isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR,
+		isa.SLT, isa.SLE, isa.SEQ, isa.SNE, isa.MIN, isa.MAX,
+		isa.FADD, isa.FSUB, isa.FMUL, isa.FDIV, isa.FMIN, isa.FMAX,
+		isa.FSLT, isa.FSLE, isa.FNEG, isa.FABS, isa.ITOF, isa.FTOI,
+		isa.FMOVI, isa.MOV, isa.MOVI, isa.LD, isa.ST, isa.BARRIER, isa.HALT,
+	}
+	if len(p.Code) != len(want) {
+		t.Fatalf("emitted %d instructions, want %d", len(p.Code), len(want))
+	}
+	for i, op := range want {
+		if p.Code[i].Op != op {
+			t.Fatalf("inst %d: got %s, want %s", i, p.Code[i].Op, op)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package program
+
+import "repro/internal/isa"
+
+// buildCFG partitions the code into basic blocks and records successor
+// edges. Block IDs are assigned in code order.
+func buildCFG(code []isa.Inst) []Block {
+	leader := make([]bool, len(code))
+	leader[0] = true
+	for pc, in := range code {
+		switch {
+		case in.Op.IsBranch():
+			leader[in.Target] = true
+			if pc+1 < len(code) {
+				leader[pc+1] = true
+			}
+		case in.Op == isa.JMP:
+			leader[in.Target] = true
+			if pc+1 < len(code) {
+				leader[pc+1] = true
+			}
+		case in.Op == isa.HALT:
+			if pc+1 < len(code) {
+				leader[pc+1] = true
+			}
+		}
+	}
+
+	var blocks []Block
+	startToID := make(map[int]int)
+	for pc := 0; pc < len(code); {
+		end := pc + 1
+		for end < len(code) && !leader[end] {
+			end++
+		}
+		id := len(blocks)
+		startToID[pc] = id
+		blocks = append(blocks, Block{ID: id, Start: pc, End: end})
+		pc = end
+	}
+
+	for i := range blocks {
+		blk := &blocks[i]
+		lastPC := blk.End - 1
+		in := code[lastPC]
+		switch {
+		case in.Op.IsBranch():
+			// Fallthrough first, then taken: deterministic order.
+			if blk.End < len(code) {
+				blk.Succ = append(blk.Succ, startToID[blk.End])
+			}
+			t := startToID[in.Target]
+			if len(blk.Succ) == 0 || blk.Succ[0] != t {
+				blk.Succ = append(blk.Succ, t)
+			}
+		case in.Op == isa.JMP:
+			blk.Succ = append(blk.Succ, startToID[in.Target])
+		case in.Op == isa.HALT:
+			// Exit block: no successors.
+		default:
+			if blk.End < len(code) {
+				blk.Succ = append(blk.Succ, startToID[blk.End])
+			}
+		}
+	}
+	return blocks
+}
+
+// postDominators computes each block's immediate post-dominator using
+// iterative set intersection over the reverse CFG with a virtual exit node.
+// It returns ipdom[blockID] = post-dominating block ID, or -1 when the only
+// post-dominator is the virtual exit (kernel termination).
+//
+// Kernels are small (tens of blocks), so the O(n²) bitset formulation is
+// simple and fast enough.
+func postDominators(blocks []Block) []int {
+	n := len(blocks)
+	exit := n // virtual exit node ID
+
+	// pdom[v] is a bitset over n+1 nodes.
+	words := (n + 1 + 63) / 64
+	full := make([]uint64, words)
+	for v := 0; v <= n; v++ {
+		full[v/64] |= 1 << (v % 64)
+	}
+	pdom := make([][]uint64, n+1)
+	for v := 0; v <= n; v++ {
+		pdom[v] = make([]uint64, words)
+		copy(pdom[v], full)
+	}
+	// Exit post-dominates only itself.
+	for i := range pdom[exit] {
+		pdom[exit][i] = 0
+	}
+	pdom[exit][exit/64] |= 1 << (exit % 64)
+
+	succ := func(v int) []int {
+		if len(blocks[v].Succ) == 0 {
+			return []int{exit}
+		}
+		return blocks[v].Succ
+	}
+
+	tmp := make([]uint64, words)
+	for changed := true; changed; {
+		changed = false
+		// Reverse order tends to converge faster for forward-shaped CFGs.
+		for v := n - 1; v >= 0; v-- {
+			copy(tmp, full)
+			for _, s := range succ(v) {
+				for i := range tmp {
+					tmp[i] &= pdom[s][i]
+				}
+			}
+			tmp[v/64] |= 1 << (v % 64)
+			same := true
+			for i := range tmp {
+				if tmp[i] != pdom[v][i] {
+					same = false
+					break
+				}
+			}
+			if !same {
+				copy(pdom[v], tmp)
+				changed = true
+			}
+		}
+	}
+
+	bit := func(set []uint64, v int) bool { return set[v/64]&(1<<(v%64)) != 0 }
+	popcount := func(set []uint64) int {
+		c := 0
+		for _, w := range set {
+			for ; w != 0; w &= w - 1 {
+				c++
+			}
+		}
+		return c
+	}
+
+	ipdom := make([]int, n)
+	for v := 0; v < n; v++ {
+		// Candidates: strict post-dominators of v. The immediate one is the
+		// candidate closest to v, i.e. with the largest post-dominator set.
+		best, bestSize := -1, -1
+		for c := 0; c < n; c++ {
+			if c == v || !bit(pdom[v], c) {
+				continue
+			}
+			if sz := popcount(pdom[c]); sz > bestSize {
+				best, bestSize = c, sz
+			}
+		}
+		ipdom[v] = best // -1 when only the virtual exit post-dominates v
+	}
+	return ipdom
+}

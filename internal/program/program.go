@@ -1,0 +1,366 @@
+// Package program provides the "compiler layer" of the simulator: a builder
+// DSL for writing kernels against the ISA, control-flow-graph construction,
+// post-dominator analysis, and the paper's static heuristic for selecting
+// which branches are allowed to subdivide warps.
+//
+// The paper (§3.3, §4.3) manually instruments post-dominators and
+// subdividable branches and notes that "in practice this process would be
+// automated by the compiler". This package is that compiler: Build computes
+// every conditional branch's immediate post-dominator from the CFG, and
+// marks the branch subdividable when the basic block following the
+// post-dominator is no longer than ShortBlockLimit instructions (50 in the
+// paper, chosen because executing 50 instructions roughly covers an L1 miss).
+package program
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// DefaultShortBlockLimit is the paper's threshold (§4.3) on the length of
+// the basic block following a branch's post-dominator, below which the
+// branch is allowed to subdivide warps.
+const DefaultShortBlockLimit = 50
+
+// BranchInfo is the per-branch metadata the WPU front end consumes.
+type BranchInfo struct {
+	// IPdom is the instruction index of the branch's immediate
+	// post-dominator — the conventional re-convergence point. NoIPdom means
+	// the paths only re-join at kernel termination.
+	IPdom int
+	// Subdividable reports whether the static heuristic allows dynamic warp
+	// subdivision at this branch.
+	Subdividable bool
+}
+
+// NoIPdom marks a branch whose divergent paths re-converge only at kernel
+// termination (e.g. one arm halts).
+const NoIPdom = -1
+
+// Block is one basic block of the control-flow graph.
+type Block struct {
+	ID    int
+	Start int // first instruction index
+	End   int // one past the last instruction index
+	Succ  []int
+}
+
+// Len returns the number of instructions in the block.
+func (b Block) Len() int { return b.End - b.Start }
+
+// Program is a validated, analysed kernel ready for simulation.
+type Program struct {
+	Name   string
+	Code   []isa.Inst
+	Blocks []Block
+
+	branches map[int]BranchInfo // keyed by instruction index
+}
+
+// Branch returns the metadata for the conditional branch at pc.
+func (p *Program) Branch(pc int) (BranchInfo, bool) {
+	bi, ok := p.branches[pc]
+	return bi, ok
+}
+
+// NumBranches returns the number of conditional branches in the program.
+func (p *Program) NumBranches() int { return len(p.branches) }
+
+// Disassemble renders the program with block boundaries and branch
+// metadata, for debugging kernels.
+func (p *Program) Disassemble() string {
+	var sb strings.Builder
+	blockAt := make(map[int]int)
+	for _, b := range p.Blocks {
+		blockAt[b.Start] = b.ID
+	}
+	for pc, in := range p.Code {
+		if id, ok := blockAt[pc]; ok {
+			fmt.Fprintf(&sb, "B%d:\n", id)
+		}
+		fmt.Fprintf(&sb, "  %4d  %s", pc, in)
+		if bi, ok := p.branches[pc]; ok {
+			if bi.IPdom == NoIPdom {
+				sb.WriteString("\t; ipdom=exit")
+			} else {
+				fmt.Fprintf(&sb, "\t; ipdom=@%d", bi.IPdom)
+			}
+			if bi.Subdividable {
+				sb.WriteString(" subdividable")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Builder assembles a kernel instruction by instruction. Branch targets are
+// symbolic labels resolved at Build time.
+type Builder struct {
+	name   string
+	code   []isa.Inst
+	labels map[string]int
+	fixups map[int]string // instruction index -> unresolved label
+
+	// ShortBlockLimit overrides the subdivide-branch heuristic threshold;
+	// zero means DefaultShortBlockLimit.
+	ShortBlockLimit int
+}
+
+// NewBuilder returns a Builder for a kernel with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:   name,
+		labels: make(map[string]int),
+		fixups: make(map[int]string),
+	}
+}
+
+// Label defines a label at the current position. Defining the same label
+// twice panics: it is a static kernel-authoring bug.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		panic("program: duplicate label " + name)
+	}
+	b.labels[name] = len(b.code)
+}
+
+// Emit appends a raw instruction. Prefer the typed helpers.
+func (b *Builder) Emit(in isa.Inst) { b.code = append(b.code, in) }
+
+// Len returns the number of instructions emitted so far.
+func (b *Builder) Len() int { return len(b.code) }
+
+func (b *Builder) branchTo(op isa.Op, src isa.Reg, label string) {
+	b.fixups[len(b.code)] = label
+	b.code = append(b.code, isa.Inst{Op: op, SrcA: src})
+}
+
+// R-format helpers.
+
+func (b *Builder) op3(op isa.Op, dst, a, c isa.Reg) {
+	b.Emit(isa.Inst{Op: op, Dst: dst, SrcA: a, SrcB: c})
+}
+
+func (b *Builder) opImm(op isa.Op, dst, a isa.Reg, imm int64) {
+	b.Emit(isa.Inst{Op: op, Dst: dst, SrcA: a, Imm: imm})
+}
+
+// Add emits dst = a + c.
+func (b *Builder) Add(dst, a, c isa.Reg) { b.op3(isa.ADD, dst, a, c) }
+
+// Sub emits dst = a - c.
+func (b *Builder) Sub(dst, a, c isa.Reg) { b.op3(isa.SUB, dst, a, c) }
+
+// Mul emits dst = a * c.
+func (b *Builder) Mul(dst, a, c isa.Reg) { b.op3(isa.MUL, dst, a, c) }
+
+// Div emits dst = a / c (0 on divide-by-zero).
+func (b *Builder) Div(dst, a, c isa.Reg) { b.op3(isa.DIV, dst, a, c) }
+
+// Rem emits dst = a % c (0 on divide-by-zero).
+func (b *Builder) Rem(dst, a, c isa.Reg) { b.op3(isa.REM, dst, a, c) }
+
+// And emits dst = a & c.
+func (b *Builder) And(dst, a, c isa.Reg) { b.op3(isa.AND, dst, a, c) }
+
+// Or emits dst = a | c.
+func (b *Builder) Or(dst, a, c isa.Reg) { b.op3(isa.OR, dst, a, c) }
+
+// Xor emits dst = a ^ c.
+func (b *Builder) Xor(dst, a, c isa.Reg) { b.op3(isa.XOR, dst, a, c) }
+
+// Shl emits dst = a << c.
+func (b *Builder) Shl(dst, a, c isa.Reg) { b.op3(isa.SHL, dst, a, c) }
+
+// Shr emits dst = a >> c (logical).
+func (b *Builder) Shr(dst, a, c isa.Reg) { b.op3(isa.SHR, dst, a, c) }
+
+// Slt emits dst = (a < c).
+func (b *Builder) Slt(dst, a, c isa.Reg) { b.op3(isa.SLT, dst, a, c) }
+
+// Sle emits dst = (a <= c).
+func (b *Builder) Sle(dst, a, c isa.Reg) { b.op3(isa.SLE, dst, a, c) }
+
+// Seq emits dst = (a == c).
+func (b *Builder) Seq(dst, a, c isa.Reg) { b.op3(isa.SEQ, dst, a, c) }
+
+// Sne emits dst = (a != c).
+func (b *Builder) Sne(dst, a, c isa.Reg) { b.op3(isa.SNE, dst, a, c) }
+
+// Min emits dst = min(a, c).
+func (b *Builder) Min(dst, a, c isa.Reg) { b.op3(isa.MIN, dst, a, c) }
+
+// Max emits dst = max(a, c).
+func (b *Builder) Max(dst, a, c isa.Reg) { b.op3(isa.MAX, dst, a, c) }
+
+// Addi emits dst = a + imm.
+func (b *Builder) Addi(dst, a isa.Reg, imm int64) { b.opImm(isa.ADDI, dst, a, imm) }
+
+// Muli emits dst = a * imm.
+func (b *Builder) Muli(dst, a isa.Reg, imm int64) { b.opImm(isa.MULI, dst, a, imm) }
+
+// Andi emits dst = a & imm.
+func (b *Builder) Andi(dst, a isa.Reg, imm int64) { b.opImm(isa.ANDI, dst, a, imm) }
+
+// Shli emits dst = a << imm.
+func (b *Builder) Shli(dst, a isa.Reg, imm int64) { b.opImm(isa.SHLI, dst, a, imm) }
+
+// Shri emits dst = a >> imm (logical).
+func (b *Builder) Shri(dst, a isa.Reg, imm int64) { b.opImm(isa.SHRI, dst, a, imm) }
+
+// Slti emits dst = (a < imm).
+func (b *Builder) Slti(dst, a isa.Reg, imm int64) { b.opImm(isa.SLTI, dst, a, imm) }
+
+// Movi emits dst = imm.
+func (b *Builder) Movi(dst isa.Reg, imm int64) { b.Emit(isa.Inst{Op: isa.MOVI, Dst: dst, Imm: imm}) }
+
+// Mov emits dst = a.
+func (b *Builder) Mov(dst, a isa.Reg) { b.Emit(isa.Inst{Op: isa.MOV, Dst: dst, SrcA: a}) }
+
+// Float helpers.
+
+// Fadd emits dst = a + c (float).
+func (b *Builder) Fadd(dst, a, c isa.Reg) { b.op3(isa.FADD, dst, a, c) }
+
+// Fsub emits dst = a - c (float).
+func (b *Builder) Fsub(dst, a, c isa.Reg) { b.op3(isa.FSUB, dst, a, c) }
+
+// Fmul emits dst = a * c (float).
+func (b *Builder) Fmul(dst, a, c isa.Reg) { b.op3(isa.FMUL, dst, a, c) }
+
+// Fdiv emits dst = a / c (float).
+func (b *Builder) Fdiv(dst, a, c isa.Reg) { b.op3(isa.FDIV, dst, a, c) }
+
+// Fneg emits dst = -a (float).
+func (b *Builder) Fneg(dst, a isa.Reg) { b.Emit(isa.Inst{Op: isa.FNEG, Dst: dst, SrcA: a}) }
+
+// Fabs emits dst = |a| (float).
+func (b *Builder) Fabs(dst, a isa.Reg) { b.Emit(isa.Inst{Op: isa.FABS, Dst: dst, SrcA: a}) }
+
+// Fmin emits dst = min(a, c) (float).
+func (b *Builder) Fmin(dst, a, c isa.Reg) { b.op3(isa.FMIN, dst, a, c) }
+
+// Fmax emits dst = max(a, c) (float).
+func (b *Builder) Fmax(dst, a, c isa.Reg) { b.op3(isa.FMAX, dst, a, c) }
+
+// Fslt emits dst = (a < c) comparing floats, integer result.
+func (b *Builder) Fslt(dst, a, c isa.Reg) { b.op3(isa.FSLT, dst, a, c) }
+
+// Fsle emits dst = (a <= c) comparing floats, integer result.
+func (b *Builder) Fsle(dst, a, c isa.Reg) { b.op3(isa.FSLE, dst, a, c) }
+
+// Fmovi emits dst = f (float immediate).
+func (b *Builder) Fmovi(dst isa.Reg, f float64) {
+	b.Emit(isa.Inst{Op: isa.FMOVI, Dst: dst, FImm: f})
+}
+
+// Itof emits dst = float(a).
+func (b *Builder) Itof(dst, a isa.Reg) { b.Emit(isa.Inst{Op: isa.ITOF, Dst: dst, SrcA: a}) }
+
+// Ftoi emits dst = int(a), truncating.
+func (b *Builder) Ftoi(dst, a isa.Reg) { b.Emit(isa.Inst{Op: isa.FTOI, Dst: dst, SrcA: a}) }
+
+// Memory helpers.
+
+// Ld emits dst = mem[base + off].
+func (b *Builder) Ld(dst, base isa.Reg, off int64) {
+	b.Emit(isa.Inst{Op: isa.LD, Dst: dst, SrcA: base, Imm: off})
+}
+
+// St emits mem[base + off] = val.
+func (b *Builder) St(val, base isa.Reg, off int64) {
+	b.Emit(isa.Inst{Op: isa.ST, SrcB: val, SrcA: base, Imm: off})
+}
+
+// Control-flow helpers.
+
+// Beqz emits a branch to label when src == 0.
+func (b *Builder) Beqz(src isa.Reg, label string) { b.branchTo(isa.BEQZ, src, label) }
+
+// Bnez emits a branch to label when src != 0.
+func (b *Builder) Bnez(src isa.Reg, label string) { b.branchTo(isa.BNEZ, src, label) }
+
+// Jmp emits an unconditional jump to label.
+func (b *Builder) Jmp(label string) { b.branchTo(isa.JMP, 0, label) }
+
+// Barrier emits a kernel-wide thread barrier.
+func (b *Builder) Barrier() { b.Emit(isa.Inst{Op: isa.BARRIER}) }
+
+// Halt emits thread termination.
+func (b *Builder) Halt() { b.Emit(isa.Inst{Op: isa.HALT}) }
+
+// Nop emits a no-op (useful to pad blocks in microbenchmarks and tests).
+func (b *Builder) Nop() { b.Emit(isa.Inst{Op: isa.NOP}) }
+
+// Build resolves labels, validates the kernel, constructs the CFG, runs
+// post-dominator analysis and applies the subdivide-branch heuristic.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.code) == 0 {
+		return nil, fmt.Errorf("program %q: empty", b.name)
+	}
+	code := make([]isa.Inst, len(b.code))
+	copy(code, b.code)
+	for pc, label := range b.fixups {
+		target, ok := b.labels[label]
+		if !ok {
+			return nil, fmt.Errorf("program %q: undefined label %q at pc %d", b.name, label, pc)
+		}
+		code[pc].Target = target
+	}
+	for pc, in := range code {
+		if !in.Op.Valid() {
+			return nil, fmt.Errorf("program %q: invalid opcode at pc %d", b.name, pc)
+		}
+		if in.Op.IsControl() && (in.Target < 0 || in.Target >= len(code)) {
+			return nil, fmt.Errorf("program %q: branch target %d out of range at pc %d", b.name, in.Target, pc)
+		}
+	}
+	last := code[len(code)-1]
+	if last.Op != isa.HALT && last.Op != isa.JMP {
+		return nil, fmt.Errorf("program %q: control can fall off the end (last op %s)", b.name, last.Op)
+	}
+
+	p := &Program{Name: b.name, Code: code, branches: make(map[int]BranchInfo)}
+	p.Blocks = buildCFG(code)
+	ipdom := postDominators(p.Blocks)
+
+	blockOf := make([]int, len(code))
+	for _, blk := range p.Blocks {
+		for pc := blk.Start; pc < blk.End; pc++ {
+			blockOf[pc] = blk.ID
+		}
+	}
+	limit := b.ShortBlockLimit
+	if limit <= 0 {
+		limit = DefaultShortBlockLimit
+	}
+	for pc, in := range code {
+		if !in.Op.IsBranch() {
+			continue
+		}
+		bi := BranchInfo{IPdom: NoIPdom}
+		if d := ipdom[blockOf[pc]]; d >= 0 {
+			dblk := p.Blocks[d]
+			bi.IPdom = dblk.Start
+			// §4.3: subdivide only when the block following the
+			// post-dominator is short. The paper's phrasing refers to the
+			// code executed from the re-convergence point; we measure the
+			// post-dominator block itself.
+			bi.Subdividable = dblk.Len() <= limit
+		}
+		p.branches[pc] = bi
+	}
+	return p, nil
+}
+
+// MustBuild is Build for statically known-good kernels; it panics on error.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

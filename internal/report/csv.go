@@ -1,0 +1,144 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// CSV export: every exhibit's structured data can be written as a CSV file
+// for plotting (cmd/dwsreport -csv <dir>). One file per exhibit, one row
+// per data point, benchmark columns where applicable.
+
+func writeCSV(dir, name string, header []string, rows [][]string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func fs(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// Table1CSV writes the divergence characterisation.
+func Table1CSV(dir string, rows []Table1Row) error {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Bench, fs(r.InstPerBranch), fs(r.DivergentBranchPct),
+			fs(r.InstPerMiss), fs(r.InstPerDivMiss), fs(r.DivergentAccessPct),
+		})
+	}
+	return writeCSV(dir, "table1.csv",
+		[]string{"benchmark", "inst_per_branch", "divergent_branch_frac",
+			"inst_per_miss", "inst_per_div_miss", "divergent_access_frac"}, out)
+}
+
+// SweepCSV writes a Figure 1-style time-breakdown sweep.
+func SweepCSV(dir, name string, pts []SweepPoint) error {
+	var out [][]string
+	for _, p := range pts {
+		out = append(out, []string{p.Label, fs(p.NormTime), fs(p.BusyFrac), fs(p.MemStallFrac)})
+	}
+	return writeCSV(dir, name,
+		[]string{"config", "norm_time", "busy_frac", "memstall_frac"}, out)
+}
+
+// SchemeCSV writes a Figure 7/11/13-style scheme comparison.
+func SchemeCSV(dir, name string, out []SchemeSpeedups) error {
+	header := []string{"benchmark"}
+	for _, o := range out {
+		header = append(header, string(o.Scheme))
+	}
+	var rows [][]string
+	for _, b := range BenchNames() {
+		row := []string{b}
+		for _, o := range out {
+			row = append(row, fs(o.Per[b]))
+		}
+		rows = append(rows, row)
+	}
+	hrow := []string{"h-mean"}
+	for _, o := range out {
+		hrow = append(hrow, fs(o.HMean))
+	}
+	rows = append(rows, hrow)
+	return writeCSV(dir, name, header, rows)
+}
+
+// SensitivityCSV writes a Figure 15/16/17/20/21-style sweep.
+func SensitivityCSV(dir, name string, pts []SensitivityPoint) error {
+	var rows [][]string
+	for _, p := range pts {
+		rows = append(rows, []string{p.Label, fs(p.Conv), fs(p.DWS), fs(p.Speedup)})
+	}
+	return writeCSV(dir, name,
+		[]string{"config", "conv", "dws", "dws_over_conv"}, rows)
+}
+
+// Figure18CSV writes the width×warps grid.
+func Figure18CSV(dir string, pts []Figure18Point) error {
+	var rows [][]string
+	for _, p := range pts {
+		rows = append(rows, []string{p.Setup, p.Config, string(p.Scheme), fs(p.Speedup)})
+	}
+	return writeCSV(dir, "figure18.csv",
+		[]string{"cache_setup", "config", "scheme", "speedup"}, rows)
+}
+
+// EnergyCSV writes Figure 19's normalised energies.
+func EnergyCSV(dir string, rows []EnergyRow) error {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.Bench, fs(r.Conv), fs(r.DWS), fs(r.SlipBB)})
+	}
+	return writeCSV(dir, "figure19.csv",
+		[]string{"benchmark", "conv", "dws", "slip_bb"}, out)
+}
+
+// Figure14CSV writes the per-thread miss grids (one row per warp).
+func Figure14CSV(dir string, grids map[string][][]uint64) error {
+	var rows [][]string
+	for _, b := range BenchNames() {
+		for wi, row := range grids[b] {
+			cells := []string{b, strconv.Itoa(wi)}
+			for _, v := range row {
+				cells = append(cells, strconv.FormatUint(v, 10))
+			}
+			rows = append(rows, cells)
+		}
+	}
+	header := []string{"benchmark", "warp"}
+	for l := 0; l < 16; l++ {
+		header = append(header, fmt.Sprintf("lane%d", l))
+	}
+	return writeCSV(dir, "figure14.csv", header, rows)
+}
+
+// AblationCSV writes the ablation study.
+func AblationCSV(dir string, rows []AblationRow) error {
+	header := append([]string{"variant", "h_mean"}, BenchNames()...)
+	var out [][]string
+	for _, r := range rows {
+		cells := []string{r.Name, fs(r.HMean)}
+		for _, b := range BenchNames() {
+			cells = append(cells, fs(r.Per[b]))
+		}
+		out = append(out, cells)
+	}
+	return writeCSV(dir, "ablation.csv", header, out)
+}

@@ -1,0 +1,575 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/wpu"
+)
+
+// Table1Row characterises one benchmark's divergence behaviour (Table 1).
+type Table1Row struct {
+	Bench               string
+	InstPerBranch       float64 // avg instructions between branches
+	DivergentBranchPct  float64 // fraction of branches that diverge
+	InstPerMiss         float64 // avg instructions between missing accesses
+	InstPerDivMiss      float64 // avg instructions between divergent misses
+	DivergentAccessPct  float64 // fraction of missing accesses that diverge
+	DivergentOfAccesses float64 // fraction of all accesses that diverge
+}
+
+// Table1 reproduces the divergence characterisation under the conventional
+// configuration.
+func (s *Session) Table1(w io.Writer) ([]Table1Row, error) {
+	var rows []Table1Row
+	base := DefaultKnobs(wpu.SchemeConv)
+	for _, b := range BenchNames() {
+		r, err := s.Run(b, base)
+		if err != nil {
+			return nil, err
+		}
+		st := r.Stats
+		row := Table1Row{Bench: b}
+		if st.Branches > 0 {
+			row.InstPerBranch = float64(st.Issued) / float64(st.Branches)
+			row.DivergentBranchPct = float64(st.DivBranch) / float64(st.Branches)
+		}
+		if st.MemWithMiss > 0 {
+			row.InstPerMiss = float64(st.Issued) / float64(st.MemWithMiss)
+			row.DivergentAccessPct = float64(st.MemDivergent) / float64(st.MemWithMiss)
+		}
+		if st.MemDivergent > 0 {
+			row.InstPerDivMiss = float64(st.Issued) / float64(st.MemDivergent)
+		}
+		if st.MemAccesses > 0 {
+			row.DivergentOfAccesses = float64(st.MemDivergent) / float64(st.MemAccesses)
+		}
+		rows = append(rows, row)
+	}
+	fmt.Fprintln(w, "Table 1: frequency of branch divergence and SIMD cache misses (Conv, Table 3 config)")
+	t := newTable(w, "benchmark", "inst/branch", "div branches", "inst/miss", "inst/div-miss", "div mem accesses")
+	for _, r := range rows {
+		t.row(r.Bench, f1(r.InstPerBranch), pctS(r.DivergentBranchPct),
+			f1(r.InstPerMiss), f1(r.InstPerDivMiss), pctS(r.DivergentAccessPct))
+	}
+	t.flush()
+	return rows, nil
+}
+
+// SweepPoint is one x-axis point of a time-breakdown sweep (Figure 1).
+type SweepPoint struct {
+	Label        string
+	NormTime     float64 // h-mean execution time normalised to the first point
+	BusyFrac     float64 // h-mean busy fraction
+	MemStallFrac float64
+}
+
+func (s *Session) breakdownSweep(w io.Writer, title string, knobs []Knobs, labels []string) ([]SweepPoint, error) {
+	var pts []SweepPoint
+	var baseCycles map[string]uint64
+	for i, k := range knobs {
+		cycles := make(map[string]uint64)
+		var norms, busies, stalls []float64
+		for _, b := range BenchNames() {
+			r, err := s.Run(b, k)
+			if err != nil {
+				return nil, err
+			}
+			cycles[b] = r.Cycles
+			busies = append(busies, safeFrac(r.Stats.BusyCycles, r.Stats.Cycles()))
+			stalls = append(stalls, r.Stats.MemStallFraction())
+			if baseCycles != nil {
+				norms = append(norms, float64(cycles[b])/float64(baseCycles[b]))
+			}
+		}
+		if baseCycles == nil {
+			baseCycles = cycles
+			norms = []float64{1}
+		}
+		pts = append(pts, SweepPoint{
+			Label:        labels[i],
+			NormTime:     arithMean(norms),
+			BusyFrac:     arithMean(busies),
+			MemStallFrac: arithMean(stalls),
+		})
+	}
+	fmt.Fprintln(w, title)
+	t := newTable(w, "config", "norm. time", "busy", "waiting for memory")
+	for _, p := range pts {
+		t.row(p.Label, f2(p.NormTime), pctS(p.BusyFrac), pctS(p.MemStallFrac))
+	}
+	t.flush()
+	return pts, nil
+}
+
+func safeFrac(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func arithMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Figure1a: execution-time breakdown vs SIMD width (4 warps, Conv).
+func (s *Session) Figure1a(w io.Writer) ([]SweepPoint, error) {
+	var knobs []Knobs
+	var labels []string
+	for _, width := range []int{1, 2, 4, 8, 16, 32} {
+		k := DefaultKnobs(wpu.SchemeConv)
+		k.Width = width
+		knobs = append(knobs, k)
+		labels = append(labels, fmt.Sprintf("width %2d", width))
+	}
+	return s.breakdownSweep(w,
+		"Figure 1a: wider SIMD does not always help — time breakdown vs SIMD width (4 warps, Conv; normalised to width 1)",
+		knobs, labels)
+}
+
+// Figure1b: time breakdown vs D-cache associativity (16-wide, 4 warps).
+func (s *Session) Figure1b(w io.Writer) ([]SweepPoint, error) {
+	var knobs []Knobs
+	var labels []string
+	for _, assoc := range []int{4, 8, 16, 0} {
+		k := DefaultKnobs(wpu.SchemeConv)
+		k.L1Assoc = assoc
+		knobs = append(knobs, k)
+		if assoc == 0 {
+			labels = append(labels, "fully assoc")
+		} else {
+			labels = append(labels, fmt.Sprintf("%2d-way", assoc))
+		}
+	}
+	return s.breakdownSweep(w,
+		"Figure 1b: memory time persists even with high associativity (16-wide, 4 warps, Conv; normalised to 4-way)",
+		knobs, labels)
+}
+
+// Figure1c: time breakdown vs warp count (8-wide).
+func (s *Session) Figure1c(w io.Writer) ([]SweepPoint, error) {
+	var knobs []Knobs
+	var labels []string
+	for _, warps := range []int{1, 2, 4, 8, 16, 32} {
+		k := DefaultKnobs(wpu.SchemeConv)
+		k.Width = 8
+		k.Warps = warps
+		knobs = append(knobs, k)
+		labels = append(labels, fmt.Sprintf("%2d warps", warps))
+	}
+	return s.breakdownSweep(w,
+		"Figure 1c: more warps eventually exacerbate contention — time breakdown vs warp count (8-wide, Conv; normalised to 1 warp)",
+		knobs, labels)
+}
+
+// SchemeSpeedups holds per-benchmark speedups over Conv plus the h-mean.
+type SchemeSpeedups struct {
+	Scheme wpu.Scheme
+	Per    map[string]float64
+	HMean  float64
+}
+
+func (s *Session) schemeComparison(w io.Writer, title string, schemes []wpu.Scheme) ([]SchemeSpeedups, error) {
+	base := DefaultKnobs(wpu.SchemeConv)
+	var out []SchemeSpeedups
+	for _, sc := range schemes {
+		alt := DefaultKnobs(sc)
+		per, hm, err := s.Speedups(base, alt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SchemeSpeedups{Scheme: sc, Per: per, HMean: hm})
+	}
+	fmt.Fprintln(w, title)
+	header := append([]string{"benchmark"}, func() []string {
+		var hs []string
+		for _, o := range out {
+			hs = append(hs, string(o.Scheme))
+		}
+		return hs
+	}()...)
+	t := newTable(w, header...)
+	for _, b := range BenchNames() {
+		cells := []string{b}
+		for _, o := range out {
+			cells = append(cells, f2(o.Per[b]))
+		}
+		t.row(cells...)
+	}
+	cells := []string{"h-mean"}
+	for _, o := range out {
+		cells = append(cells, f2(o.HMean))
+	}
+	t.row(cells...)
+	t.flush()
+	return out, nil
+}
+
+// Figure7: DWS upon branch divergence with stack-based vs PC-based
+// re-convergence, speedup over Conv.
+func (s *Session) Figure7(w io.Writer) ([]SchemeSpeedups, error) {
+	return s.schemeComparison(w,
+		"Figure 7: DWS upon branch divergence — stack-based vs PC-based re-convergence (speedup over Conv)",
+		[]wpu.Scheme{wpu.SchemeBranchOnlyStack, wpu.SchemeBranchOnly})
+}
+
+// Figure11: memory-divergence subdivision schemes under BranchLimited
+// re-convergence.
+func (s *Session) Figure11(w io.Writer) ([]SchemeSpeedups, error) {
+	return s.schemeComparison(w,
+		"Figure 11: BranchLimited re-convergence yields little gain for all subdivision schemes (speedup over Conv)",
+		[]wpu.Scheme{wpu.SchemeAggressBL, wpu.SchemeLazyBL, wpu.SchemeReviveBL})
+}
+
+// Figure13: the full scheme comparison, including adaptive slip.
+func (s *Session) Figure13(w io.Writer) ([]SchemeSpeedups, error) {
+	return s.schemeComparison(w,
+		"Figure 13: comparing DWS schemes and adaptive slip (speedup over Conv)",
+		[]wpu.Scheme{
+			wpu.SchemeBranchOnly,
+			wpu.SchemeReviveMemOnly,
+			wpu.SchemeAggress,
+			wpu.SchemeLazy,
+			wpu.SchemeRevive,
+			wpu.SchemeSlip,
+			wpu.SchemeSlipBranchBypass,
+		})
+}
+
+// Headline prints the §5.5 summary numbers for DWS.ReviveSplit.
+func (s *Session) Headline(w io.Writer) error {
+	base := DefaultKnobs(wpu.SchemeConv)
+	alt := DefaultKnobs(wpu.SchemeRevive)
+	_, hm, err := s.Speedups(base, alt)
+	if err != nil {
+		return err
+	}
+	var convStall, dwsStall, convWidth, dwsWidth, energyRatio []float64
+	for _, b := range BenchNames() {
+		rc, err := s.Run(b, base)
+		if err != nil {
+			return err
+		}
+		rd, err := s.Run(b, alt)
+		if err != nil {
+			return err
+		}
+		convStall = append(convStall, rc.Stats.MemStallFraction())
+		dwsStall = append(dwsStall, rd.Stats.MemStallFraction())
+		convWidth = append(convWidth, rc.Stats.MeanSIMDWidth())
+		dwsWidth = append(dwsWidth, rd.Stats.MeanSIMDWidth())
+		energyRatio = append(energyRatio, rd.Energy.Total()/rc.Energy.Total())
+	}
+	fmt.Fprintf(w, "Headline (§5.5/§6.5): DWS.ReviveSplit speedup (h-mean) %.2fx; "+
+		"memory-stall fraction %.0f%% -> %.0f%%; mean SIMD width %.1f -> %.1f; energy %.0f%% of Conv\n",
+		hm, 100*arithMean(convStall), 100*arithMean(dwsStall),
+		arithMean(convWidth), arithMean(dwsWidth), 100*arithMean(energyRatio))
+	return nil
+}
+
+// Figure14 prints the per-thread miss distribution (warps × lanes) for each
+// benchmark as a 0-9 heat grid, normalised per benchmark.
+func (s *Session) Figure14(w io.Writer) (map[string][][]uint64, error) {
+	base := DefaultKnobs(wpu.SchemeConv)
+	out := make(map[string][][]uint64)
+	fmt.Fprintln(w, "Figure 14: spatial distribution of memory divergence among SIMD threads")
+	fmt.Fprintln(w, "(rows = warps of WPU 0..3 stacked, columns = lanes; digits 0-9 scale to the benchmark's max)")
+	for _, b := range BenchNames() {
+		r, err := s.Run(b, base)
+		if err != nil {
+			return nil, err
+		}
+		grid := r.Stats.ThreadMisses
+		out[b] = grid
+		var max uint64
+		for _, row := range grid {
+			for _, v := range row {
+				if v > max {
+					max = v
+				}
+			}
+		}
+		fmt.Fprintf(w, "%s:\n", b)
+		for _, row := range grid {
+			line := make([]byte, len(row))
+			for i, v := range row {
+				d := byte('0')
+				if max > 0 {
+					d = byte('0') + byte(v*9/max)
+				}
+				line[i] = d
+			}
+			fmt.Fprintf(w, "  %s\n", line)
+		}
+	}
+	return out, nil
+}
+
+// SensitivityPoint is one x-value of a Conv-vs-DWS sensitivity sweep.
+type SensitivityPoint struct {
+	Label   string
+	Conv    float64 // h-mean speedup of Conv at this point vs Conv baseline
+	DWS     float64 // same for DWS.ReviveSplit
+	Speedup float64 // h-mean DWS/Conv at this point
+}
+
+func (s *Session) sensitivity(w io.Writer, title string, vary func(k *Knobs, i int), labels []string) ([]SensitivityPoint, error) {
+	baseline := DefaultKnobs(wpu.SchemeConv)
+	var pts []SensitivityPoint
+	for i, lab := range labels {
+		kc := DefaultKnobs(wpu.SchemeConv)
+		vary(&kc, i)
+		kd := DefaultKnobs(wpu.SchemeRevive)
+		vary(&kd, i)
+		var convN, dwsN, sp []float64
+		for _, b := range BenchNames() {
+			rb, err := s.Run(b, baseline)
+			if err != nil {
+				return nil, err
+			}
+			rc, err := s.Run(b, kc)
+			if err != nil {
+				return nil, err
+			}
+			rd, err := s.Run(b, kd)
+			if err != nil {
+				return nil, err
+			}
+			convN = append(convN, float64(rb.Cycles)/float64(rc.Cycles))
+			dwsN = append(dwsN, float64(rb.Cycles)/float64(rd.Cycles))
+			sp = append(sp, float64(rc.Cycles)/float64(rd.Cycles))
+		}
+		pts = append(pts, SensitivityPoint{
+			Label:   lab,
+			Conv:    HarmonicMean(convN),
+			DWS:     HarmonicMean(dwsN),
+			Speedup: HarmonicMean(sp),
+		})
+	}
+	fmt.Fprintln(w, title)
+	t := newTable(w, "config", "Conv", "DWS", "DWS/Conv")
+	for _, p := range pts {
+		t.row(p.Label, f2(p.Conv), f2(p.DWS), f2(p.Speedup))
+	}
+	t.flush()
+	return pts, nil
+}
+
+// Figure15: speedup vs D-cache associativity.
+func (s *Session) Figure15(w io.Writer) ([]SensitivityPoint, error) {
+	assocs := []int{4, 8, 16, 0}
+	labels := []string{"4-way", "8-way", "16-way", "fully assoc"}
+	return s.sensitivity(w,
+		"Figure 15: speedup vs D-cache associativity (normalised to Conv 8-way)",
+		func(k *Knobs, i int) { k.L1Assoc = assocs[i] }, labels)
+}
+
+// Figure16: speedup vs L2 lookup latency.
+func (s *Session) Figure16(w io.Writer) ([]SensitivityPoint, error) {
+	lats := []int{10, 30, 100, 200, 300}
+	labels := []string{"10 cyc", "30 cyc", "100 cyc", "200 cyc", "300 cyc"}
+	return s.sensitivity(w,
+		"Figure 16: speedup vs L2 lookup latency (normalised to Conv at 30 cycles)",
+		func(k *Knobs, i int) { k.L2Lat = lats[i] }, labels)
+}
+
+// Figure17: speedup vs D-cache size.
+func (s *Session) Figure17(w io.Writer) ([]SensitivityPoint, error) {
+	sizes := []int{8, 16, 32, 64, 128}
+	labels := []string{"8 KB", "16 KB", "32 KB", "64 KB", "128 KB"}
+	return s.sensitivity(w,
+		"Figure 17: speedup vs D-cache size (normalised to Conv 32 KB)",
+		func(k *Knobs, i int) { k.L1KB = sizes[i] }, labels)
+}
+
+// Figure18Point is one (cache setup, width×warps, scheme) h-mean speedup.
+type Figure18Point struct {
+	Setup   string
+	Config  string
+	Scheme  wpu.Scheme
+	Speedup float64 // vs Conv 16×4 under the same cache setup
+}
+
+// Figure18 sweeps SIMD width and multithreading depth under four D-cache
+// setups for Conv, DWS and Slip.BranchBypass.
+func (s *Session) Figure18(w io.Writer, quick bool) ([]Figure18Point, error) {
+	type setup struct {
+		name  string
+		kb    int
+		assoc int
+	}
+	setups := []setup{
+		{"8-way 32KB", 32, 8},
+		{"fully-assoc 32KB", 32, 0},
+		{"8-way 256KB", 256, 8},
+		{"fully-assoc 256KB", 256, 0},
+	}
+	// The grid spans the paper's two regimes: a few wide warps (where DWS
+	// shines) and many narrow warps (where latency is already hidden and
+	// subdividing only costs utilisation, §6.4).
+	pairs := [][2]int{{4, 8}, {4, 16}, {8, 2}, {8, 4}, {16, 1}, {16, 2}, {16, 4}}
+	if quick {
+		setups = setups[:2]
+		pairs = [][2]int{{8, 4}, {16, 2}, {16, 4}}
+	}
+	schemes := []wpu.Scheme{wpu.SchemeConv, wpu.SchemeRevive, wpu.SchemeSlipBranchBypass}
+
+	var pts []Figure18Point
+	fmt.Fprintln(w, "Figure 18: speedups across SIMD width x warps under different D-cache setups")
+	fmt.Fprintln(w, "(h-means over the suite, normalised to Conv 16-wide x 4 warps under the same cache setup)")
+	for _, su := range setups {
+		base := DefaultKnobs(wpu.SchemeConv)
+		base.L1KB = su.kb
+		base.L1Assoc = su.assoc
+		t := newTable(w, su.name, "Conv", "DWS", "Slip.BB")
+		for _, p := range pairs {
+			row := []string{fmt.Sprintf("%2d-wide x %d warps", p[0], p[1])}
+			for _, sc := range schemes {
+				k := DefaultKnobs(sc)
+				k.L1KB = su.kb
+				k.L1Assoc = su.assoc
+				k.Width = p[0]
+				k.Warps = p[1]
+				var sp []float64
+				for _, b := range BenchNames() {
+					rb, err := s.Run(b, base)
+					if err != nil {
+						return nil, err
+					}
+					ra, err := s.Run(b, k)
+					if err != nil {
+						return nil, err
+					}
+					sp = append(sp, float64(rb.Cycles)/float64(ra.Cycles))
+				}
+				hm := HarmonicMean(sp)
+				pts = append(pts, Figure18Point{
+					Setup:  su.name,
+					Config: row[0],
+					Scheme: sc, Speedup: hm,
+				})
+				row = append(row, f2(hm))
+			}
+			t.row(row...)
+		}
+		t.flush()
+		fmt.Fprintln(w)
+	}
+	return pts, nil
+}
+
+// EnergyRow is one benchmark's normalised energy under the three systems.
+type EnergyRow struct {
+	Bench  string
+	Conv   float64 // always 1.0
+	DWS    float64
+	SlipBB float64
+}
+
+// Figure19: energy consumption normalised to Conv.
+func (s *Session) Figure19(w io.Writer) ([]EnergyRow, error) {
+	var rows []EnergyRow
+	for _, b := range BenchNames() {
+		rc, err := s.Run(b, DefaultKnobs(wpu.SchemeConv))
+		if err != nil {
+			return nil, err
+		}
+		rd, err := s.Run(b, DefaultKnobs(wpu.SchemeRevive))
+		if err != nil {
+			return nil, err
+		}
+		rs, err := s.Run(b, DefaultKnobs(wpu.SchemeSlipBranchBypass))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, EnergyRow{
+			Bench:  b,
+			Conv:   1,
+			DWS:    rd.Energy.Total() / rc.Energy.Total(),
+			SlipBB: rs.Energy.Total() / rc.Energy.Total(),
+		})
+	}
+	fmt.Fprintln(w, "Figure 19: energy normalised to Conv (left to right: Conv, DWS, Slip.BranchBypass)")
+	t := newTable(w, "benchmark", "Conv", "DWS", "Slip.BB")
+	var d, sl []float64
+	for _, r := range rows {
+		t.row(r.Bench, f2(r.Conv), f2(r.DWS), f2(r.SlipBB))
+		d = append(d, r.DWS)
+		sl = append(sl, r.SlipBB)
+	}
+	t.row("mean", "1.00", f2(arithMean(d)), f2(arithMean(sl)))
+	t.flush()
+	return rows, nil
+}
+
+// Figure20: DWS speedup vs number of scheduler slots.
+func (s *Session) Figure20(w io.Writer) ([]SensitivityPoint, error) {
+	slots := []int{2, 4, 8, 16, 32}
+	labels := []string{"2 slots", "4 slots", "8 slots", "16 slots", "32 slots"}
+	return s.sensitivity(w,
+		"Figure 20: sensitivity to scheduler slots (DWS subdivides; Conv uses its 4 warps)",
+		func(k *Knobs, i int) { k.Slots = slots[i] }, labels)
+}
+
+// Figure21: DWS speedup vs warp-split table size (8 scheduler slots).
+func (s *Session) Figure21(w io.Writer) ([]SensitivityPoint, error) {
+	wsts := []int{4, 8, 16, 32, 64}
+	labels := []string{"WST 4", "WST 8", "WST 16", "WST 32", "WST 64"}
+	return s.sensitivity(w,
+		"Figure 21: sensitivity to warp-split table entries (scheduler has 8 slots)",
+		func(k *Knobs, i int) { k.WST = wsts[i]; k.Slots = 8 }, labels)
+}
+
+// AblationRow quantifies one implementation design choice.
+type AblationRow struct {
+	Name  string
+	HMean float64 // speedup over Conv with this variant
+	Per   map[string]float64
+}
+
+// Ablation evaluates this implementation's design choices around
+// DWS.ReviveSplit (beyond the paper: the paper fixes these implicitly):
+// re-convergence of suspended groups at matching PCs (wait-merge),
+// least-progressed-first scheduling, the laziness threshold on branch
+// subdivision, and the §8 predictive extension.
+func (s *Session) Ablation(w io.Writer) ([]AblationRow, error) {
+	base := DefaultKnobs(wpu.SchemeConv)
+	variants := []struct {
+		name string
+		k    Knobs
+	}{
+		{"DWS.ReviveSplit (full)", DefaultKnobs(wpu.SchemeRevive)},
+		{"  - wait-merge", func() Knobs { k := DefaultKnobs(wpu.SchemeRevive); k.NoWaitMerge = true; return k }()},
+		{"  - least-progress sched", func() Knobs { k := DefaultKnobs(wpu.SchemeRevive); k.NoProgSched = true; return k }()},
+		{"  unconditional branch split", func() Knobs { k := DefaultKnobs(wpu.SchemeRevive); k.BranchThresh = 1 << 20; return k }()},
+		{"DWS.PredictiveSplit (§8)", DefaultKnobs(wpu.SchemePredictive)},
+	}
+	var rows []AblationRow
+	for _, v := range variants {
+		per, hm, err := s.Speedups(base, v.k)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{Name: v.name, HMean: hm, Per: per})
+	}
+	fmt.Fprintln(w, "Ablation: design choices of this implementation (speedup over Conv, h-mean and per benchmark)")
+	header := append([]string{"variant", "h-mean"}, BenchNames()...)
+	t := newTable(w, header...)
+	for _, r := range rows {
+		cells := []string{r.Name, f2(r.HMean)}
+		for _, b := range BenchNames() {
+			cells = append(cells, f2(r.Per[b]))
+		}
+		t.row(cells...)
+	}
+	t.flush()
+	return rows, nil
+}

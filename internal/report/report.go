@@ -1,0 +1,232 @@
+// Package report reproduces every table and figure of the paper's
+// evaluation: it sweeps configurations, runs the benchmark suite, verifies
+// results, and renders the same rows/series the paper reports. Each
+// FigureNN/TableNN function corresponds to one exhibit (see DESIGN.md's
+// experiment index) and returns structured data alongside its text
+// rendering so tests and the bench harness can assert on shapes.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/energy"
+	"repro/internal/engine"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+	"repro/internal/wpu"
+)
+
+// Result captures one benchmark × configuration run.
+type Result struct {
+	Bench  string
+	Scheme wpu.Scheme
+	Cycles uint64
+	Stats  wpu.Stats
+	L1     mem.L1Stats
+	Energy energy.Breakdown
+}
+
+// Knobs are the architectural parameters the evaluation sweeps.
+type Knobs struct {
+	Width   int
+	Warps   int
+	Slots   int
+	WST     int
+	L1KB    int
+	L1Assoc int // 0 = fully associative
+	L2KB    int
+	L2Lat   int
+	Scheme  wpu.Scheme
+
+	// Ablation switches (see the Ablation driver).
+	NoWaitMerge  bool
+	NoProgSched  bool
+	BranchThresh int // 0 = default lazy threshold
+}
+
+// DefaultKnobs returns the Table 3 configuration under a given scheme.
+func DefaultKnobs(s wpu.Scheme) Knobs {
+	return Knobs{
+		Width: 16, Warps: 4, Slots: 0, WST: 16,
+		L1KB: 32, L1Assoc: 8, L2KB: 4096, L2Lat: 30,
+		Scheme: s,
+	}
+}
+
+func (k Knobs) config() sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.WPU.Width = k.Width
+	cfg.WPU.Warps = k.Warps
+	cfg.WPU.SchedSlots = k.Slots
+	cfg.WPU.WSTEntries = k.WST
+	cfg.Hier.L1.SizeBytes = k.L1KB * 1024
+	cfg.Hier.L1.Ways = k.L1Assoc
+	cfg.Hier.L2.SizeBytes = k.L2KB * 1024
+	cfg.Hier.L2.LookupLat = engine.Cycle(k.L2Lat)
+	cfg.WPU = k.Scheme.Apply(cfg.WPU)
+	cfg.WPU.DisableWaitMerge = k.NoWaitMerge
+	cfg.WPU.DisableProgSched = k.NoProgSched
+	cfg.WPU.BranchLazyThreshold = k.BranchThresh
+	return cfg
+}
+
+// Session caches runs so figures sharing configurations (every figure
+// reuses the Conv baseline) do not repeat simulations.
+type Session struct {
+	cache map[string]Result
+	// Verify controls whether every run checks functional results against
+	// the host reference (on by default; the cost is negligible).
+	Verify bool
+}
+
+// NewSession returns an empty run cache.
+func NewSession() *Session {
+	return &Session{cache: make(map[string]Result), Verify: true}
+}
+
+func (k Knobs) key(bench string) string {
+	return fmt.Sprintf("%s|%s|w%d×%d|sl%d|wst%d|l1:%d/%d|l2:%d/%d|ab:%v%v%d",
+		bench, k.Scheme, k.Width, k.Warps, k.Slots, k.WST, k.L1KB, k.L1Assoc, k.L2KB, k.L2Lat,
+		k.NoWaitMerge, k.NoProgSched, k.BranchThresh)
+}
+
+// Run simulates one benchmark under the given knobs (cached).
+func (s *Session) Run(bench string, k Knobs) (Result, error) {
+	key := k.key(bench)
+	if r, ok := s.cache[key]; ok {
+		return r, nil
+	}
+	spec, err := workloads.ByName(bench)
+	if err != nil {
+		return Result{}, err
+	}
+	sys, err := sim.New(k.config())
+	if err != nil {
+		return Result{}, err
+	}
+	inst, err := spec.Build(sys)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := inst.Run(sys); err != nil {
+		return Result{}, fmt.Errorf("%s %s: %w", bench, k.key(bench), err)
+	}
+	if s.Verify {
+		if err := inst.Verify(); err != nil {
+			return Result{}, fmt.Errorf("%s under %s: %w", bench, k.Scheme, err)
+		}
+	}
+	r := Result{
+		Bench:  bench,
+		Scheme: k.Scheme,
+		Cycles: sys.Cycles(),
+		Stats:  sys.TotalStats(),
+		L1:     sys.L1Stats(),
+		Energy: energy.Estimate(sys),
+	}
+	s.cache[key] = r
+	return r, nil
+}
+
+// BenchNames lists the suite in presentation order.
+func BenchNames() []string {
+	var names []string
+	for _, s := range workloads.All() {
+		names = append(names, s.Name)
+	}
+	return names
+}
+
+// HarmonicMean returns the harmonic mean (the paper reports all means as
+// harmonic means, §3.2). Zero or negative values are rejected by panic:
+// they indicate a broken experiment.
+func HarmonicMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var inv float64
+	for _, x := range xs {
+		if x <= 0 {
+			panic("report: harmonic mean of non-positive value")
+		}
+		inv += 1 / x
+	}
+	return float64(len(xs)) / inv
+}
+
+// Speedups runs every benchmark under base and alt and returns per-bench
+// speedups (base cycles / alt cycles) plus their harmonic mean.
+func (s *Session) Speedups(base, alt Knobs) (map[string]float64, float64, error) {
+	per := make(map[string]float64)
+	var xs []float64
+	for _, b := range BenchNames() {
+		rb, err := s.Run(b, base)
+		if err != nil {
+			return nil, 0, err
+		}
+		ra, err := s.Run(b, alt)
+		if err != nil {
+			return nil, 0, err
+		}
+		sp := float64(rb.Cycles) / float64(ra.Cycles)
+		per[b] = sp
+		xs = append(xs, sp)
+	}
+	return per, HarmonicMean(xs), nil
+}
+
+// table is a small fixed-width text table writer.
+type table struct {
+	w      io.Writer
+	header []string
+	widths []int
+	rows   [][]string
+}
+
+func newTable(w io.Writer, header ...string) *table {
+	t := &table{w: w, header: header, widths: make([]int, len(header))}
+	for i, h := range header {
+		t.widths[i] = len(h)
+	}
+	return t
+}
+
+func (t *table) row(cells ...string) {
+	for i, c := range cells {
+		if i < len(t.widths) && len(c) > t.widths[i] {
+			t.widths[i] = len(c)
+		}
+	}
+	t.rows = append(t.rows, cells)
+}
+
+func (t *table) flush() {
+	line := func(cells []string) {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", t.widths[i], c)
+		}
+		fmt.Fprintln(t.w, strings.TrimRight(sb.String(), " "))
+	}
+	line(t.header)
+	var sep []string
+	for _, w := range t.widths {
+		sep = append(sep, strings.Repeat("-", w))
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func pctS(v float64) string {
+	return fmt.Sprintf("%.1f%%", 100*v)
+}

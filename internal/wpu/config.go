@@ -1,0 +1,297 @@
+package wpu
+
+import "fmt"
+
+// MemScheme selects when a warp subdivides upon memory divergence (§5.2).
+type MemScheme uint8
+
+const (
+	// MemNone disables subdivision on memory divergence: the whole SIMD
+	// group waits for its slowest thread (the conventional behaviour).
+	MemNone MemScheme = iota
+	// AggressSplit subdivides on every memory divergence.
+	AggressSplit
+	// LazySplit subdivides only when no other SIMD group on the WPU is
+	// ready to issue.
+	LazySplit
+	// ReviveSplit extends LazySplit: when the pipeline stalls, one
+	// suspended SIMD group whose outstanding requests have partially
+	// completed is subdivided so the satisfied threads can run ahead.
+	ReviveSplit
+	// PredictiveSplit extends ReviveSplit with the paper's §8 future-work
+	// idea: a per-PC miss-history predictor estimates whether a run-ahead
+	// split will issue another long-latency request before its fall-behind
+	// sibling resumes (the Figure 10 failure case), and vetoes subdivision
+	// when past run-aheads at this PC achieved nothing.
+	PredictiveSplit
+)
+
+func (s MemScheme) String() string {
+	switch s {
+	case MemNone:
+		return "none"
+	case AggressSplit:
+		return "aggress"
+	case LazySplit:
+		return "lazy"
+	case ReviveSplit:
+		return "revive"
+	case PredictiveSplit:
+		return "predictive"
+	}
+	return "?"
+}
+
+// MemReconv selects how memory-divergence warp-splits behave at branches
+// (§5.3).
+type MemReconv uint8
+
+const (
+	// BranchLimited forces warp-splits born of memory divergence to stall
+	// and re-merge at the next conditional branch or post-dominator, keeping
+	// the re-convergence stack authoritative (§5.3.1).
+	BranchLimited MemReconv = iota
+	// BranchBypass lets run-ahead warp-splits pass branches (subdividing
+	// further on divergent ones) and loop boundaries, re-converging via the
+	// PC-based mechanism (§5.3.2).
+	BranchBypass
+)
+
+func (r MemReconv) String() string {
+	if r == BranchLimited {
+		return "branch-limited"
+	}
+	return "branch-bypass"
+}
+
+// SlipMode selects the adaptive-slip baseline (§5.7) instead of DWS memory
+// subdivision.
+type SlipMode uint8
+
+const (
+	// SlipOff disables adaptive slip.
+	SlipOff SlipMode = iota
+	// SlipOn is Tarjan et al.'s adaptive slip without branch predication:
+	// run-ahead threads stall at conditional branches.
+	SlipOn
+	// SlipBranchBypass combines slip with DWS branch subdivision so
+	// run-ahead threads can slip past branches into later iterations.
+	SlipBranchBypass
+)
+
+func (s SlipMode) String() string {
+	switch s {
+	case SlipOff:
+		return "off"
+	case SlipOn:
+		return "slip"
+	case SlipBranchBypass:
+		return "slip-bb"
+	}
+	return "?"
+}
+
+// Config describes one WPU's microarchitecture and DWS policy.
+type Config struct {
+	// Warps and Width give the multi-threading depth and SIMD width
+	// (Table 3: 4 warps × 16 lanes = 64 thread contexts).
+	Warps int
+	Width int
+
+	// SchedSlots bounds how many SIMD groups the scheduler tracks at once
+	// (§5.6 doubles a conventional scheduler: 2×Warps). 0 means 2×Warps.
+	SchedSlots int
+	// WSTEntries bounds the total number of scheduling entities (full warps
+	// count as root warp-splits). Subdivision is refused when the table is
+	// full. 0 means 16 (§5.6).
+	WSTEntries int
+
+	// ICacheLines and ICacheWays size the per-WPU instruction cache
+	// (Table 3: 16 KB 4-way with 128 B lines = 128 lines). IMissLat is the
+	// refill penalty charged to issue on a cold fetch (crossbar + L2).
+	// Zero values select the Table 3 defaults.
+	ICacheLines int
+	ICacheWays  int
+	IMissLat    int
+
+	// SubdivideOnBranch enables DWS upon branch divergence (§4) at branches
+	// the compiler marked subdividable.
+	SubdivideOnBranch bool
+	// BranchLazyThreshold gates branch subdivision on need: a divergent
+	// subdividable branch subdivides only when fewer than this many other
+	// SIMD groups are ready to issue (the pipeline is about to run dry).
+	// 0 selects the default of 2.
+	BranchLazyThreshold int
+	// PCReconv enables PC-based re-convergence (§4.5): ready sibling
+	// warp-splits at the same PC re-unite. Without it only stack-based
+	// re-convergence applies.
+	PCReconv bool
+	// MemScheme enables DWS upon memory divergence (§5).
+	MemScheme MemScheme
+	// MemReconv selects BranchLimited or BranchBypass behaviour for
+	// memory-divergence splits.
+	MemReconv MemReconv
+	// Slip selects the adaptive-slip baseline; it must be SlipOff when
+	// MemScheme is not MemNone.
+	Slip SlipMode
+
+	// Ablation switches (beyond-paper; used by the ablation study to
+	// quantify this implementation's design choices).
+	//
+	// DisableWaitMerge turns off re-convergence of SIMD groups suspended
+	// at the same PC, leaving only ready-ready PC merges.
+	DisableWaitMerge bool
+	// DisableProgSched replaces least-progressed-first issue with plain
+	// round-robin over the scheduler slots.
+	DisableProgSched bool
+
+	// SlipInterval, SlipRaise and SlipLower are the adaptive-slip profiling
+	// parameters from §5.7: every SlipInterval cycles the maximum allowed
+	// thread divergence is incremented when the WPU waited for memory more
+	// than SlipRaise of the time and decremented when it actively executed
+	// more than SlipLower of the time. Zero values select the paper's
+	// 100000 cycles / 0.70 / 0.50.
+	SlipInterval uint64
+	SlipRaise    float64
+	SlipLower    float64
+}
+
+// withDefaults fills derived defaults.
+func (c Config) withDefaults() Config {
+	if c.SchedSlots <= 0 {
+		c.SchedSlots = 2 * c.Warps
+	}
+	if c.WSTEntries <= 0 {
+		c.WSTEntries = 16
+	}
+	if c.BranchLazyThreshold <= 0 {
+		c.BranchLazyThreshold = 2
+	}
+	if c.ICacheLines <= 0 {
+		c.ICacheLines = icacheDefaultLines
+	}
+	if c.ICacheWays <= 0 {
+		c.ICacheWays = icacheDefaultWays
+	}
+	if c.IMissLat <= 0 {
+		c.IMissLat = 42 // crossbar round trip + L2 lookup
+	}
+	if c.SlipInterval == 0 {
+		c.SlipInterval = 100000
+	}
+	if c.SlipRaise == 0 {
+		c.SlipRaise = 0.70
+	}
+	if c.SlipLower == 0 {
+		c.SlipLower = 0.50
+	}
+	return c
+}
+
+// Validate rejects contradictory configurations.
+func (c Config) Validate() error {
+	if c.Warps <= 0 || c.Width <= 0 {
+		return fmt.Errorf("wpu: need positive warps (%d) and width (%d)", c.Warps, c.Width)
+	}
+	if c.Width > 64 {
+		return fmt.Errorf("wpu: width %d exceeds the 64-lane mask limit", c.Width)
+	}
+	if c.Slip != SlipOff && c.MemScheme != MemNone {
+		return fmt.Errorf("wpu: adaptive slip and DWS memory subdivision are exclusive")
+	}
+	return nil
+}
+
+// Scheme names a paper configuration and expands to policy settings.
+type Scheme string
+
+// The named configurations evaluated in the paper (Figures 7, 11 and 13).
+const (
+	SchemeConv             Scheme = "Conv"
+	SchemePredictive       Scheme = "DWS.PredictiveSplit"
+	SchemeBranchOnlyStack  Scheme = "DWS.BranchOnly.Stack"
+	SchemeBranchOnly       Scheme = "DWS.BranchOnly"
+	SchemeAggressBL        Scheme = "DWS.AggressSplit.BL"
+	SchemeLazyBL           Scheme = "DWS.LazySplit.BL"
+	SchemeReviveBL         Scheme = "DWS.ReviveSplit.BL"
+	SchemeReviveMemOnly    Scheme = "DWS.ReviveSplit.MemOnly"
+	SchemeAggress          Scheme = "DWS.AggressSplit"
+	SchemeLazy             Scheme = "DWS.LazySplit"
+	SchemeRevive           Scheme = "DWS.ReviveSplit"
+	SchemeSlip             Scheme = "Slip"
+	SchemeSlipBranchBypass Scheme = "Slip.BranchBypass"
+)
+
+// AllSchemes lists every named configuration in presentation order.
+var AllSchemes = []Scheme{
+	SchemeConv,
+	SchemeBranchOnlyStack,
+	SchemeBranchOnly,
+	SchemeAggressBL,
+	SchemeLazyBL,
+	SchemeReviveBL,
+	SchemeReviveMemOnly,
+	SchemeAggress,
+	SchemeLazy,
+	SchemeRevive,
+	SchemePredictive,
+	SchemeSlip,
+	SchemeSlipBranchBypass,
+}
+
+// Apply overlays the scheme's policy settings onto a base configuration.
+func (s Scheme) Apply(c Config) Config {
+	c.SubdivideOnBranch = false
+	c.PCReconv = false
+	c.MemScheme = MemNone
+	c.MemReconv = BranchBypass
+	c.Slip = SlipOff
+	switch s {
+	case SchemeConv:
+	case SchemeBranchOnlyStack:
+		c.SubdivideOnBranch = true
+	case SchemeBranchOnly:
+		c.SubdivideOnBranch = true
+		c.PCReconv = true
+	case SchemeAggressBL:
+		c.MemScheme = AggressSplit
+		c.MemReconv = BranchLimited
+		c.PCReconv = true
+	case SchemeLazyBL:
+		c.MemScheme = LazySplit
+		c.MemReconv = BranchLimited
+		c.PCReconv = true
+	case SchemeReviveBL:
+		c.MemScheme = ReviveSplit
+		c.MemReconv = BranchLimited
+		c.PCReconv = true
+	case SchemeReviveMemOnly:
+		c.MemScheme = ReviveSplit
+		c.PCReconv = true
+	case SchemeAggress:
+		c.SubdivideOnBranch = true
+		c.PCReconv = true
+		c.MemScheme = AggressSplit
+	case SchemeLazy:
+		c.SubdivideOnBranch = true
+		c.PCReconv = true
+		c.MemScheme = LazySplit
+	case SchemeRevive:
+		c.SubdivideOnBranch = true
+		c.PCReconv = true
+		c.MemScheme = ReviveSplit
+	case SchemePredictive:
+		c.SubdivideOnBranch = true
+		c.PCReconv = true
+		c.MemScheme = PredictiveSplit
+	case SchemeSlip:
+		c.Slip = SlipOn
+	case SchemeSlipBranchBypass:
+		c.Slip = SlipBranchBypass
+		c.SubdivideOnBranch = true
+		c.PCReconv = true
+	default:
+		panic("wpu: unknown scheme " + string(s))
+	}
+	return c
+}

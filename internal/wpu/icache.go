@@ -1,0 +1,76 @@
+package wpu
+
+// The per-WPU instruction cache of Table 3 (16 KB, 4-way, 128 B lines,
+// 1-cycle hits). One instruction is fetched per cycle and broadcast to all
+// lanes, so the I-cache is unbanked; with our fixed 8-byte instruction
+// encoding a line holds 16 instructions. Kernels are small, so after the
+// cold start every fetch hits — exactly the regime the paper's
+// configuration implies — but the model is kept faithful: a cold fetch
+// stalls issue for the refill latency.
+
+const (
+	icacheDefaultLines = 128 // 16 KB / 128 B
+	icacheDefaultWays  = 4
+	icacheInstPerLine  = 16 // 128 B line / 8 B encoded instruction
+)
+
+type icacheLine struct {
+	tag     int
+	valid   bool
+	lastUse uint64
+}
+
+// icache is a tiny set-associative tag store over instruction indices.
+type icache struct {
+	sets  [][]icacheLine
+	clock uint64
+
+	Fetches uint64
+	Misses  uint64
+}
+
+func newICache(lines, ways int) *icache {
+	if lines <= 0 {
+		lines = icacheDefaultLines
+	}
+	if ways <= 0 || ways > lines {
+		ways = icacheDefaultWays
+	}
+	numSets := lines / ways
+	if numSets == 0 {
+		numSets = 1
+	}
+	c := &icache{sets: make([][]icacheLine, numSets)}
+	for i := range c.sets {
+		c.sets[i] = make([]icacheLine, ways)
+	}
+	return c
+}
+
+// Fetch looks up the line holding the instruction at pc, filling on miss.
+// It reports whether the fetch hit.
+func (c *icache) Fetch(pc int) bool {
+	c.Fetches++
+	c.clock++
+	lineNo := pc / icacheInstPerLine
+	set := c.sets[lineNo%len(c.sets)]
+	victim := &set[0]
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == lineNo {
+			w.lastUse = c.clock
+			return true
+		}
+		switch {
+		case !victim.valid:
+			// Keep the invalid frame.
+		case !w.valid, w.lastUse < victim.lastUse:
+			victim = w
+		}
+	}
+	c.Misses++
+	victim.valid = true
+	victim.tag = lineNo
+	victim.lastUse = c.clock
+	return false
+}

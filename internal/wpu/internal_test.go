@@ -1,0 +1,450 @@
+package wpu
+
+// White-box tests of the split machinery: slot bookkeeping, re-convergence
+// stack pops, sync-scope lifecycle, PC/wait merges, the WST bound and the
+// subdivision predictor. These drive a real WPU over a tiny memory
+// hierarchy and inspect package-private state directly.
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/program"
+)
+
+func newBareWPU(t *testing.T, cfg Config) (*WPU, *engine.Queue, *mem.Hierarchy) {
+	t.Helper()
+	q := &engine.Queue{}
+	h := mem.NewHierarchy(q, 1, mem.HierarchyConfig{
+		L1:      mem.L1Config{SizeBytes: 2048, Ways: 2, LineSize: 128, HitLat: 3, Banks: 4, MSHRs: 8},
+		L2:      mem.L2Config{SizeBytes: 64 * 1024, Ways: 8, LineSize: 128, LookupLat: 10, ProbeLat: 4, MSHRs: 16},
+		XbarLat: 2, XbarOcc: 1, MemBusOcc: 4, DRAMLat: 50,
+	})
+	w, err := New(0, q, cfg, h.L1s[0], h.Mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, q, h
+}
+
+// runToCompletion ticks the WPU (interleaving events) until done,
+// releasing barriers when everything parks.
+func runToCompletion(t *testing.T, w *WPU, q *engine.Queue) uint64 {
+	t.Helper()
+	var cycle engine.Cycle
+	for i := 0; !w.Done(); i++ {
+		if i > 5_000_000 {
+			t.Fatalf("WPU did not finish:\n%s", w.DebugDump())
+		}
+		q.RunUntil(cycle)
+		before := w.Progress()
+		w.Tick()
+		if w.AnyAtBarrier() && w.BarrierReady() {
+			w.ReleaseBarrier()
+		} else if q.Len() == 0 && w.Progress() == before && !w.Done() {
+			t.Fatalf("deadlock at cycle %d:\n%s", cycle, w.DebugDump())
+		}
+		cycle++
+	}
+	return uint64(cycle)
+}
+
+func launchSimple(t *testing.T, w *WPU, p *program.Program, n int, setup func(tid int, r *isa.RegFile)) {
+	t.Helper()
+	regs := make([]isa.RegFile, n)
+	for i := range regs {
+		regs[i].Set(1, int64(i))
+		regs[i].Set(2, int64(n))
+		if setup != nil {
+			setup(i, &regs[i])
+		}
+	}
+	if err := w.Launch(p, regs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func haltOnly(t *testing.T) *program.Program {
+	t.Helper()
+	b := program.NewBuilder("halt")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestLaunchCreatesRootSplits(t *testing.T) {
+	w, _, _ := newBareWPU(t, Config{Warps: 2, Width: 4})
+	launchSimple(t, w, haltOnly(t), 6, nil) // warp0 full, warp1 half
+	if w.splitCount != 2 {
+		t.Fatalf("splitCount = %d, want 2", w.splitCount)
+	}
+	if w.warps[0].live != 0xF {
+		t.Fatalf("warp0 live = %#x", uint64(w.warps[0].live))
+	}
+	if w.warps[1].live != 0x3 {
+		t.Fatalf("warp1 live = %#x", uint64(w.warps[1].live))
+	}
+	for _, warp := range w.warps {
+		for _, s := range warp.splits {
+			if !s.resident || s.state != Ready || !s.baseStack() {
+				t.Fatalf("root split malformed: %v", s)
+			}
+		}
+	}
+}
+
+func TestLaunchRejectsWhileRunning(t *testing.T) {
+	w, _, _ := newBareWPU(t, Config{Warps: 1, Width: 4})
+	b := program.NewBuilder("spin")
+	b.Nop()
+	b.Halt()
+	p := b.MustBuild()
+	launchSimple(t, w, p, 4, nil)
+	if err := w.Launch(p, make([]isa.RegFile, 4)); err == nil {
+		t.Fatal("relaunch while running accepted")
+	}
+}
+
+func TestSlotBookkeeping(t *testing.T) {
+	w, _, _ := newBareWPU(t, Config{Warps: 2, Width: 4, SchedSlots: 1})
+	launchSimple(t, w, haltOnly(t), 8, nil)
+	// One slot: warp0 resident, warp1 queued.
+	if !w.warps[0].splits[0].resident {
+		t.Fatal("first split not resident")
+	}
+	s1 := w.warps[1].splits[0]
+	if s1.resident {
+		t.Fatal("second split resident despite single slot")
+	}
+	if len(w.slotWait) != 1 {
+		t.Fatalf("slotWait = %d, want 1", len(w.slotWait))
+	}
+	// Removing the resident split must admit the waiter.
+	w.removeSplit(w.warps[0].splits[0])
+	if !s1.resident {
+		t.Fatal("waiter not admitted after slot freed")
+	}
+	if w.slots[0] != s1 {
+		t.Fatal("slot does not hold the admitted split")
+	}
+}
+
+func TestAdmitWaiterSkipsDead(t *testing.T) {
+	w, _, _ := newBareWPU(t, Config{Warps: 3, Width: 4, SchedSlots: 1})
+	launchSimple(t, w, haltOnly(t), 12, nil)
+	dead := w.warps[1].splits[0]
+	alive := w.warps[2].splits[0]
+	// Kill the first waiter while it is still queued.
+	w.removeSplit(dead)
+	w.removeSplit(w.warps[0].splits[0])
+	if !alive.resident {
+		t.Fatal("live waiter skipped")
+	}
+}
+
+func TestWSTRoomCountsAndRefuses(t *testing.T) {
+	w, _, _ := newBareWPU(t, Config{Warps: 2, Width: 4, WSTEntries: 2})
+	launchSimple(t, w, haltOnly(t), 8, nil)
+	if w.wstRoom() {
+		t.Fatal("WST reported room at capacity")
+	}
+	if w.Stats.WSTFullRefusals != 1 {
+		t.Fatalf("refusals = %d, want 1", w.Stats.WSTFullRefusals)
+	}
+	w.removeSplit(w.warps[0].splits[0])
+	if !w.wstRoom() {
+		t.Fatal("WST full after a removal")
+	}
+}
+
+// postPCUpdate must pop serialised branch paths at their re-convergence PC
+// and switch to the sibling path.
+func TestPostPCUpdatePopsStack(t *testing.T) {
+	w, _, _ := newBareWPU(t, Config{Warps: 1, Width: 4})
+	launchSimple(t, w, haltOnly(t), 4, nil)
+	s := w.warps[0].splits[0]
+	// Manufacture a serialised divergence: taken at pc 5, sibling at pc 9,
+	// re-converging at pc 12.
+	s.tos().PC = 12
+	s.stack = append(s.stack,
+		StackEntry{ReconvPC: 12, PC: 9, Mask: 0x3},
+		StackEntry{ReconvPC: 12, PC: 5, Mask: 0xC},
+	)
+	s.pc = 5
+	s.mask = 0xC
+	// Taken path reaches the post-dominator.
+	s.pc = 12
+	w.postPCUpdate(s)
+	if s.pc != 9 || s.mask != 0x3 {
+		t.Fatalf("after pop: pc=%d mask=%#x, want sibling 9/0x3", s.pc, uint64(s.mask))
+	}
+	// Sibling reaches it too: resume the parent mask at the join.
+	s.pc = 12
+	w.postPCUpdate(s)
+	if s.pc != 12 || s.mask != 0xF || !s.baseStack() {
+		t.Fatalf("after second pop: pc=%d mask=%#x depth=%d", s.pc, uint64(s.mask), len(s.stack))
+	}
+}
+
+func TestPostPCUpdateRetiresEmptyMask(t *testing.T) {
+	w, _, _ := newBareWPU(t, Config{Warps: 1, Width: 4})
+	launchSimple(t, w, haltOnly(t), 4, nil)
+	s := w.warps[0].splits[0]
+	w.warpHalt(s.warp, 0xF)
+	w.postPCUpdate(s)
+	if s.state != Dead || w.splitCount != 0 {
+		t.Fatalf("empty-mask split not retired: %v, count %d", s, w.splitCount)
+	}
+}
+
+func TestScopeArrivalAndCompletion(t *testing.T) {
+	w, _, _ := newBareWPU(t, Config{Warps: 1, Width: 4})
+	launchSimple(t, w, haltOnly(t), 4, nil)
+	root := w.warps[0].splits[0]
+	sc := &SyncScope{warp: root.warp, reconvPC: 7, expected: 0xF,
+		frozen: []StackEntry{{ReconvPC: program.NoIPdom, PC: 0, Mask: 0xF}}}
+	a := w.newSplit(root.warp, 0x3, 7, sc)
+	b := w.newSplit(root.warp, 0xC, 7, sc)
+	w.removeSplit(root)
+	w.addSplit(a)
+	w.addSplit(b)
+
+	w.arriveAtScope(a)
+	if sc.arrived != 0x3 {
+		t.Fatalf("arrived = %#x", uint64(sc.arrived))
+	}
+	if w.splitCount != 1 {
+		t.Fatalf("splitCount = %d after first arrival", w.splitCount)
+	}
+	w.arriveAtScope(b)
+	// Scope complete: a merged split with the full mask exists at pc 7.
+	if w.splitCount != 1 {
+		t.Fatalf("splitCount = %d after completion", w.splitCount)
+	}
+	merged := w.warps[0].splits[0]
+	if merged.mask != 0xF || merged.pc != 7 || merged.state != Ready {
+		t.Fatalf("merged split wrong: %v", merged)
+	}
+	if w.Stats.ScopeMerges != 1 {
+		t.Fatalf("ScopeMerges = %d", w.Stats.ScopeMerges)
+	}
+}
+
+func TestScopeCompletionExcludesHalted(t *testing.T) {
+	w, _, _ := newBareWPU(t, Config{Warps: 1, Width: 4})
+	launchSimple(t, w, haltOnly(t), 4, nil)
+	root := w.warps[0].splits[0]
+	sc := &SyncScope{warp: root.warp, reconvPC: 7, expected: 0xF,
+		frozen: []StackEntry{{ReconvPC: program.NoIPdom, PC: 0, Mask: 0xF}}}
+	a := w.newSplit(root.warp, 0x3, 7, sc)
+	b := w.newSplit(root.warp, 0xC, 3, sc)
+	w.removeSplit(root)
+	w.addSplit(a)
+	w.addSplit(b)
+	w.arriveAtScope(a)
+	// b's threads halt before reaching the scope.
+	w.warpHalt(b.warp, 0xC)
+	b.mask = 0
+	w.postPCUpdate(b) // retires b, subtracts from the scope
+	if w.splitCount != 1 {
+		t.Fatalf("splitCount = %d, want merged survivor only", w.splitCount)
+	}
+	merged := w.warps[0].splits[0]
+	if merged.mask != 0x3 {
+		t.Fatalf("merged mask = %#x, want surviving threads 0x3", uint64(merged.mask))
+	}
+}
+
+func TestSyncPCInheritance(t *testing.T) {
+	w, _, _ := newBareWPU(t, Config{Warps: 1, Width: 4})
+	launchSimple(t, w, haltOnly(t), 4, nil)
+	s := w.warps[0].splits[0]
+	if s.syncPC() != program.NoIPdom {
+		t.Fatalf("root syncPC = %d", s.syncPC())
+	}
+	s.stack = append(s.stack, StackEntry{ReconvPC: 42, PC: 1, Mask: 0xF})
+	if s.syncPC() != 42 {
+		t.Fatalf("stacked syncPC = %d, want 42", s.syncPC())
+	}
+	s.stack = s.stack[:1]
+	s.scope = &SyncScope{reconvPC: 17}
+	if s.syncPC() != 17 {
+		t.Fatalf("scoped syncPC = %d, want inherited 17", s.syncPC())
+	}
+}
+
+func TestTryPCMergeRequiresSameContext(t *testing.T) {
+	w, _, _ := newBareWPU(t, Config{Warps: 1, Width: 4, PCReconv: true})
+	launchSimple(t, w, haltOnly(t), 4, nil)
+	root := w.warps[0].splits[0]
+	w.removeSplit(root)
+	scA := &SyncScope{warp: root.warp, reconvPC: 9}
+	a := w.newSplit(root.warp, 0x3, 5, scA)
+	b := w.newSplit(root.warp, 0xC, 5, nil) // different scope: no merge
+	w.addSplit(a)
+	w.addSplit(b)
+	w.tryPCMerge(a)
+	if w.splitCount != 2 {
+		t.Fatal("merged across different scopes")
+	}
+	b.scope = scA
+	w.tryPCMerge(a)
+	if w.splitCount != 1 || a.mask != 0xF {
+		t.Fatalf("same-scope merge failed: count=%d mask=%#x", w.splitCount, uint64(a.mask))
+	}
+	if w.Stats.PCMerges != 1 {
+		t.Fatalf("PCMerges = %d", w.Stats.PCMerges)
+	}
+}
+
+func TestPredictorTrainsAndVetoes(t *testing.T) {
+	var p subdivPredictor
+	pc := 12
+	if !p.allow(pc) {
+		t.Fatal("fresh predictor must be weakly taken")
+	}
+	p.train(pc, false)
+	p.train(pc, false)
+	if p.allow(pc) {
+		t.Fatal("predictor did not learn failures")
+	}
+	if p.Vetoes == 0 {
+		t.Fatal("veto not counted")
+	}
+	p.train(pc, true)
+	p.train(pc, true)
+	if !p.allow(pc) {
+		t.Fatal("predictor did not recover on successes")
+	}
+	if p.Successes != 2 || p.Failures != 2 {
+		t.Fatalf("train counters: %d/%d", p.Successes, p.Failures)
+	}
+}
+
+func TestPredictorSaturates(t *testing.T) {
+	var p subdivPredictor
+	pc := 5
+	for i := 0; i < 10; i++ {
+		p.train(pc, true)
+	}
+	if p.table[p.idx(pc)] != predictorMax {
+		t.Fatal("counter exceeded max")
+	}
+	for i := 0; i < 10; i++ {
+		p.train(pc, false)
+	}
+	if p.table[p.idx(pc)] != 0 {
+		t.Fatal("counter went negative")
+	}
+}
+
+// End-to-end: a kernel whose threads halt inside divergent arms must still
+// terminate, exercising the halt-driven stack pops.
+func TestHaltInsideDivergentArm(t *testing.T) {
+	b := program.NewBuilder("halt-in-arm")
+	b.Andi(9, 1, 1)
+	b.Bnez(9, "odd")
+	b.Movi(10, 1)
+	b.Halt() // even threads die inside the arm
+	b.Label("odd")
+	b.Movi(10, 2)
+	b.Halt()
+	p := b.MustBuild()
+
+	for _, scheme := range []Scheme{SchemeConv, SchemeBranchOnly, SchemeRevive} {
+		cfg := scheme.Apply(Config{Warps: 2, Width: 4})
+		w, q, _ := newBareWPU(t, cfg)
+		launchSimple(t, w, p, 8, nil)
+		runToCompletion(t, w, q)
+	}
+}
+
+// End-to-end: nested divergence with halts on every path.
+func TestNestedDivergenceWithMixedHalts(t *testing.T) {
+	b := program.NewBuilder("nested-halts")
+	b.Andi(9, 1, 1)
+	b.Bnez(9, "outer")
+	b.Andi(10, 1, 2)
+	b.Bnez(10, "innerB")
+	b.Movi(11, 1)
+	b.Jmp("join")
+	b.Label("innerB")
+	b.Movi(11, 2)
+	b.Label("join")
+	b.Addi(11, 11, 10)
+	b.Halt()
+	b.Label("outer")
+	b.Movi(11, 3)
+	b.Halt()
+	p := b.MustBuild()
+
+	for _, scheme := range AllSchemes {
+		cfg := scheme.Apply(Config{Warps: 2, Width: 8})
+		w, q, _ := newBareWPU(t, cfg)
+		launchSimple(t, w, p, 16, nil)
+		runToCompletion(t, w, q)
+		for lane := 0; lane < 8; lane++ {
+			for wi := 0; wi < 2; wi++ {
+				tid := wi*8 + lane
+				got := w.warps[wi].regs[lane].Get(11)
+				want := int64(11) // inner A path
+				switch {
+				case tid&1 == 1:
+					want = 3
+				case tid&2 == 2:
+					want = 12
+				}
+				if got != want {
+					t.Fatalf("%s: thread %d r11 = %d, want %d", scheme, tid, got, want)
+				}
+			}
+		}
+	}
+}
+
+// The WST bound must hold at every instant, whatever the policy mix.
+func TestWSTBoundNeverExceeded(t *testing.T) {
+	b := program.NewBuilder("churn")
+	b.Mov(8, 1)
+	b.Movi(12, 0)
+	b.Label("loop")
+	b.Slti(9, 12, 6)
+	b.Beqz(9, "done")
+	b.Andi(10, 8, 3)
+	b.Muli(11, 8, 128)
+	b.Andi(11, 11, 4095)
+	b.Add(13, 4, 11)
+	b.Ld(14, 13, 0) // scattered loads: memory divergence
+	b.Bnez(10, "skip")
+	b.Addi(14, 14, 1)
+	b.Label("skip")
+	b.Muli(8, 8, 7)
+	b.Addi(8, 8, 3)
+	b.Addi(12, 12, 1)
+	b.Jmp("loop")
+	b.Label("done")
+	b.Halt()
+	p := b.MustBuild()
+
+	cfg := SchemeAggress.Apply(Config{Warps: 4, Width: 8, WSTEntries: 6})
+	w, q, _ := newBareWPU(t, cfg)
+	launchSimple(t, w, p, 32, func(tid int, r *isa.RegFile) {
+		r.Set(4, 1<<20)
+	})
+	var cycle engine.Cycle
+	for !w.Done() {
+		q.RunUntil(cycle)
+		w.Tick()
+		if w.splitCount > 6 {
+			t.Fatalf("WST bound exceeded: %d > 6", w.splitCount)
+		}
+		cycle++
+		if cycle > 1_000_000 {
+			t.Fatal("kernel did not finish")
+		}
+	}
+	if w.Stats.PeakSplits > 6 {
+		t.Fatalf("PeakSplits = %d > bound", w.Stats.PeakSplits)
+	}
+}

@@ -1,0 +1,99 @@
+package wpu
+
+// The subdivision predictor implements the paper's §8 future-work
+// direction: "speculating cache miss frequency and miss latencies in order
+// to better decide when to subdivide warps". Figure 10 shows the failure
+// case — a run-ahead warp-split that issues no further long-latency
+// request before a suspended group resumes only wastes pipeline slots and
+// re-executes instructions the fall-behind will repeat.
+//
+// The predictor is a small table of 2-bit saturating counters indexed by
+// the (hashed) PC of the divergent memory instruction. A subdivision is a
+// *success* when the run-ahead split issues another missing memory access
+// before its fall-behind sibling's data returns; the counter trains up on
+// success and down on failure, and PredictiveSplit vetoes subdivision at
+// PCs whose counter has fallen below the taken threshold. Counters start
+// weakly taken so new PCs behave like ReviveSplit.
+
+const (
+	predictorEntries   = 64
+	predictorMax       = 3
+	predictorThreshold = 2
+)
+
+// subdivPredictor holds the per-WPU prediction state.
+type subdivPredictor struct {
+	table [predictorEntries]int8
+	init  bool
+
+	Predictions uint64
+	Vetoes      uint64
+	Successes   uint64
+	Failures    uint64
+}
+
+func (p *subdivPredictor) ensureInit() {
+	if p.init {
+		return
+	}
+	for i := range p.table {
+		p.table[i] = predictorThreshold // weakly taken
+	}
+	p.init = true
+}
+
+func (p *subdivPredictor) idx(pc int) int { return (pc ^ pc>>6) & (predictorEntries - 1) }
+
+// allow reports whether subdivision at pc is predicted profitable.
+func (p *subdivPredictor) allow(pc int) bool {
+	p.ensureInit()
+	p.Predictions++
+	if p.table[p.idx(pc)] >= predictorThreshold {
+		return true
+	}
+	p.Vetoes++
+	return false
+}
+
+// train updates the counter for pc with the observed outcome.
+func (p *subdivPredictor) train(pc int, success bool) {
+	p.ensureInit()
+	i := p.idx(pc)
+	if success {
+		p.Successes++
+		if p.table[i] < predictorMax {
+			p.table[i]++
+		}
+		return
+	}
+	p.Failures++
+	if p.table[i] > 0 {
+		p.table[i]--
+	}
+}
+
+// subdivRecord observes one subdivision's outcome: the run-ahead child
+// marks success when it issues a missing access; the record closes (and
+// trains the predictor) when the fall-behind child's data returns.
+type subdivRecord struct {
+	pc      int
+	success bool
+	closed  bool
+}
+
+// observeRunAheadMiss is called when a split carrying an open record
+// issues a memory access with at least one miss.
+func (w *WPU) observeRunAheadMiss(s *Split) {
+	if s.subRec != nil && !s.subRec.closed {
+		s.subRec.success = true
+	}
+}
+
+// closeSubdivRecord trains the predictor when the fall-behind resumes.
+func (w *WPU) closeSubdivRecord(s *Split) {
+	if s.subRec == nil || s.subRec.closed {
+		return
+	}
+	s.subRec.closed = true
+	w.predictor.train(s.subRec.pc, s.subRec.success)
+}

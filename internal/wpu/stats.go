@@ -1,0 +1,107 @@
+package wpu
+
+// Stats aggregates everything one WPU observes during a kernel; the
+// experiment harness derives the paper's tables and figures from these
+// counters plus the cache statistics.
+type Stats struct {
+	// Cycle accounting. Every simulated cycle is exactly one of these.
+	BusyCycles     uint64 // issued an instruction
+	StallMemCycles uint64 // no ready SIMD group; some group waits on memory
+	StallOtherCyc  uint64 // no ready SIMD group for any other reason
+
+	// Instruction accounting.
+	Issued       uint64 // SIMD instructions issued
+	ThreadOps    uint64 // per-thread operations (sum of active-mask widths)
+	FloatOps     uint64
+	MemInsts     uint64 // SIMD memory instructions issued
+	IFetchMisses uint64 // cold instruction-cache fetches (stall the front end)
+	Branches     uint64 // conditional branches executed
+	DivBranch    uint64 // ... that diverged
+	WidthAccum   uint64 // sum of active widths, for mean SIMD width
+
+	// Memory divergence (per SIMD memory instruction).
+	MemAccesses  uint64 // SIMD memory instructions touching the D-cache
+	MemWithMiss  uint64 // ... where at least one thread missed
+	MemDivergent uint64 // ... where some threads hit and some missed
+	LineAccesses uint64 // coalesced line requests issued to the D-cache
+
+	// DWS mechanics.
+	BranchSubdivisions uint64
+	MemSubdivisions    uint64
+	Revivals           uint64
+	PCMerges           uint64 // PC-based re-convergence events
+	WaitMerges         uint64 // suspended groups re-united at the same PC
+	ScopeMerges        uint64 // stack-based (sync-scope) re-convergence events
+	WSTFullRefusals    uint64 // subdivisions refused because the table was full
+	SlotWaits          uint64 // splits that had to wait for a scheduler slot
+	PeakSplits         int    // high-water mark of live scheduling entities
+
+	// Slip mechanics.
+	SlipEvents  uint64
+	SlipMerges  uint64
+	SlipRefused uint64 // divergence beyond the adaptive cap
+
+	// Per-thread miss counts for Figure 14, indexed [warp][lane]: misses by
+	// this thread on accesses where it stalled (part of) its SIMD group.
+	ThreadMisses [][]uint64
+}
+
+// Cycles returns the total simulated cycles this WPU was live.
+func (s *Stats) Cycles() uint64 {
+	return s.BusyCycles + s.StallMemCycles + s.StallOtherCyc
+}
+
+// MeanSIMDWidth returns the average active width per issued instruction
+// (the paper reports 14 → 4 under DWS.ReviveSplit, §5.5).
+func (s *Stats) MeanSIMDWidth() float64 {
+	if s.Issued == 0 {
+		return 0
+	}
+	return float64(s.WidthAccum) / float64(s.Issued)
+}
+
+// MemStallFraction returns the fraction of cycles stalled on memory (the
+// paper reports 76 % → 36 %, §5.5).
+func (s *Stats) MemStallFraction() float64 {
+	c := s.Cycles()
+	if c == 0 {
+		return 0
+	}
+	return float64(s.StallMemCycles) / float64(c)
+}
+
+// Add accumulates o into s (for summing across WPUs).
+func (s *Stats) Add(o *Stats) {
+	s.BusyCycles += o.BusyCycles
+	s.StallMemCycles += o.StallMemCycles
+	s.StallOtherCyc += o.StallOtherCyc
+	s.Issued += o.Issued
+	s.ThreadOps += o.ThreadOps
+	s.FloatOps += o.FloatOps
+	s.MemInsts += o.MemInsts
+	s.IFetchMisses += o.IFetchMisses
+	s.Branches += o.Branches
+	s.DivBranch += o.DivBranch
+	s.WidthAccum += o.WidthAccum
+	s.MemAccesses += o.MemAccesses
+	s.MemWithMiss += o.MemWithMiss
+	s.MemDivergent += o.MemDivergent
+	s.LineAccesses += o.LineAccesses
+	s.BranchSubdivisions += o.BranchSubdivisions
+	s.MemSubdivisions += o.MemSubdivisions
+	s.Revivals += o.Revivals
+	s.PCMerges += o.PCMerges
+	s.WaitMerges += o.WaitMerges
+	s.ScopeMerges += o.ScopeMerges
+	s.WSTFullRefusals += o.WSTFullRefusals
+	s.SlotWaits += o.SlotWaits
+	if o.PeakSplits > s.PeakSplits {
+		s.PeakSplits = o.PeakSplits
+	}
+	for _, row := range o.ThreadMisses {
+		s.ThreadMisses = append(s.ThreadMisses, append([]uint64(nil), row...))
+	}
+	s.SlipEvents += o.SlipEvents
+	s.SlipMerges += o.SlipMerges
+	s.SlipRefused += o.SlipRefused
+}

@@ -1,0 +1,33 @@
+package wpu
+
+// Low-level event tracing for debugging the subdivision machinery: set
+// WPU_TRACE=1 in the environment to stream scope creations, arrivals,
+// completions, subdivisions and revivals to stderr. For a sampled
+// state-dump view prefer cmd/dwstrace, which needs no environment flag.
+
+import (
+	"fmt"
+	"os"
+)
+
+var traceScopes = os.Getenv("WPU_TRACE") != ""
+
+func tracef(format string, args ...any) {
+	if traceScopes {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+}
+
+func scopeReconv(sc *SyncScope) int {
+	if sc == nil {
+		return -99 // no scope: distinct from program.NoIPdom (-1)
+	}
+	return sc.reconvPC
+}
+
+func parentOf(sc *SyncScope) *SyncScope {
+	if sc == nil {
+		return nil
+	}
+	return sc.parent
+}

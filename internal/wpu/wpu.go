@@ -1,0 +1,1043 @@
+package wpu
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/program"
+)
+
+// WPU is one warp processing unit: an in-order, single-issue SIMD front end
+// sequencing Width lanes across Warps warps, switching SIMD groups on every
+// cache access to hide latency (§3.3), and optionally subdividing warps on
+// branch and memory divergence (§4, §5).
+type WPU struct {
+	ID  int
+	cfg Config
+
+	q    *engine.Queue
+	l1   *mem.L1
+	fmem *mem.Memory
+	prog *program.Program
+
+	warps []*Warp
+
+	// The bounded scheduler (§5.6/§6.6): slots hold resident SIMD groups;
+	// surplus splits queue in slotWait until a slot frees.
+	slots    []*Split
+	slotWait []*Split
+	rrNext   int
+	cur      *Split
+
+	splitCount  int // live scheduling entities, bounded by WSTEntries
+	nextSplitID int
+
+	launched bool
+	// progress counts state transitions that advance the machine without
+	// issuing an instruction (scope arrivals, slip swaps, revivals); the
+	// simulation driver uses it to distinguish stalls from deadlock.
+	progress uint64
+
+	// Per-WPU instruction cache (Table 3); cold fetches stall issue. Each
+	// distinct program gets its own fetch-address range so successive
+	// kernels of a multi-pass workload coexist in the cache, as their code
+	// would at distinct addresses on real hardware.
+	icache          *icache
+	fetchStallUntil engine.Cycle
+	progBases       map[*program.Program]int
+	nextProgBase    int
+	fetchBase       int
+
+	// Subdivision predictor (PredictiveSplit, the §8 extension).
+	predictor subdivPredictor
+
+	// Adaptive slip state (§5.7).
+	maxSlip       int
+	intervalStart uint64 // cycle count at last adaptation
+	intervalBusy  uint64
+	intervalWait  uint64
+
+	Stats Stats
+}
+
+// New builds a WPU bound to its private L1 and the functional memory.
+func New(id int, q *engine.Queue, cfg Config, l1 *mem.L1, fmem *mem.Memory) (*WPU, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	w := &WPU{
+		ID:      id,
+		cfg:     cfg,
+		q:       q,
+		l1:      l1,
+		fmem:    fmem,
+		slots:   make([]*Split, cfg.SchedSlots),
+		icache:  newICache(cfg.ICacheLines, cfg.ICacheWays),
+		maxSlip: cfg.Width / 2,
+	}
+	w.Stats.ThreadMisses = make([][]uint64, cfg.Warps)
+	for i := range w.Stats.ThreadMisses {
+		w.Stats.ThreadMisses[i] = make([]uint64, cfg.Width)
+	}
+	for i := 0; i < cfg.Warps; i++ {
+		w.warps = append(w.warps, &Warp{
+			id:   i,
+			wpu:  w,
+			regs: make([]isa.RegFile, cfg.Width),
+		})
+	}
+	return w, nil
+}
+
+// Config returns the (defaulted) configuration.
+func (w *WPU) Config() Config { return w.cfg }
+
+// ThreadCapacity returns Warps × Width.
+func (w *WPU) ThreadCapacity() int { return w.cfg.Warps * w.cfg.Width }
+
+// Progress returns a monotonic counter of issues plus non-issue state
+// transitions; when it stops changing with an empty event queue, the
+// machine is deadlocked.
+func (w *WPU) Progress() uint64 { return w.Stats.Issued + w.progress }
+
+// Launch starts a kernel: regs[i] is the initial register file of the i-th
+// hardware thread (warp-major layout: warp = i/Width, lane = i%Width).
+// A previous kernel must have completed. Statistics accumulate across
+// launches so multi-pass workloads report totals.
+func (w *WPU) Launch(prog *program.Program, regs []isa.RegFile) error {
+	if w.launched && !w.Done() {
+		return fmt.Errorf("wpu %d: Launch while a kernel is still running", w.ID)
+	}
+	if len(regs) > w.ThreadCapacity() {
+		return fmt.Errorf("wpu %d: %d threads exceed capacity %d", w.ID, len(regs), w.ThreadCapacity())
+	}
+	w.prog = prog
+	if w.progBases == nil {
+		w.progBases = make(map[*program.Program]int)
+	}
+	base, ok := w.progBases[prog]
+	if !ok {
+		base = w.nextProgBase
+		w.progBases[prog] = base
+		// Round the next base up to a line boundary past this program.
+		w.nextProgBase = base + (len(prog.Code)/icacheInstPerLine+1)*icacheInstPerLine
+	}
+	w.fetchBase = base
+	w.launched = true
+	w.cur = nil
+	w.rrNext = 0
+	w.slotWait = nil
+	for i := range w.slots {
+		w.slots[i] = nil
+	}
+	w.splitCount = 0
+	for wi, warp := range w.warps {
+		warp.live = 0
+		warp.halted = 0
+		warp.splits = nil
+		for l := 0; l < w.cfg.Width; l++ {
+			ti := wi*w.cfg.Width + l
+			if ti < len(regs) {
+				warp.regs[l] = regs[ti]
+				warp.live |= LaneMask(l)
+			}
+		}
+		if warp.live != 0 {
+			root := w.newSplit(warp, warp.live, 0, nil)
+			root.state = Ready
+			w.addSplit(root)
+		}
+	}
+	return nil
+}
+
+// Done reports whether every launched thread has halted.
+func (w *WPU) Done() bool {
+	if !w.launched {
+		return true
+	}
+	for _, warp := range w.warps {
+		if warp.liveUnhalted() != 0 {
+			return false
+		}
+	}
+	return w.splitCount == 0
+}
+
+// newSplit allocates a split with a fresh base stack.
+func (w *WPU) newSplit(warp *Warp, mask Mask, pc int, scope *SyncScope) *Split {
+	w.nextSplitID++
+	return &Split{
+		id:    w.nextSplitID,
+		warp:  warp,
+		mask:  mask,
+		pc:    pc,
+		state: Ready,
+		stack: []StackEntry{{ReconvPC: program.NoIPdom, PC: pc, Mask: mask}},
+		scope: scope,
+	}
+}
+
+// addSplit registers a split in the warp and gives it a scheduler slot if
+// one is free; otherwise it queues for one.
+func (w *WPU) addSplit(s *Split) {
+	s.warp.splits = append(s.warp.splits, s)
+	w.splitCount++
+	if w.splitCount > w.Stats.PeakSplits {
+		w.Stats.PeakSplits = w.splitCount
+	}
+	w.acquireSlot(s)
+}
+
+// acquireSlot makes s resident when a slot is free, else queues it.
+func (w *WPU) acquireSlot(s *Split) {
+	if s.resident || s.state == Dead {
+		return
+	}
+	for i := range w.slots {
+		if w.slots[i] == nil {
+			w.slots[i] = s
+			s.resident = true
+			return
+		}
+	}
+	w.Stats.SlotWaits++
+	w.slotWait = append(w.slotWait, s)
+}
+
+// releaseSlot takes s out of the scheduler (it hit a synchronization
+// point, §6.6) and admits a waiting split.
+func (w *WPU) releaseSlot(s *Split) {
+	if !s.resident {
+		return
+	}
+	s.resident = false
+	for i := range w.slots {
+		if w.slots[i] == s {
+			w.slots[i] = nil
+			w.admitWaiter(i)
+			return
+		}
+	}
+}
+
+// removeSplit retires a split, freeing its slot and admitting a waiter.
+func (w *WPU) removeSplit(s *Split) {
+	sp := s.warp.splits
+	for i := range sp {
+		if sp[i] == s {
+			s.warp.splits = append(sp[:i], sp[i+1:]...)
+			break
+		}
+	}
+	w.splitCount--
+	if w.cur == s {
+		w.cur = nil
+	}
+	w.releaseSlot(s)
+	s.state = Dead
+}
+
+func (w *WPU) admitWaiter(slot int) {
+	for len(w.slotWait) > 0 {
+		c := w.slotWait[0]
+		w.slotWait = w.slotWait[1:]
+		if c.state == Dead || c.resident {
+			continue
+		}
+		w.slots[slot] = c
+		c.resident = true
+		return
+	}
+}
+
+// wstRoom reports whether the warp-split table can accept one more entry.
+func (w *WPU) wstRoom() bool {
+	if w.splitCount < w.cfg.WSTEntries {
+		return true
+	}
+	w.Stats.WSTFullRefusals++
+	return false
+}
+
+// Tick advances the WPU by one cycle: issue one instruction from the
+// current SIMD group, or pick another ready group, or stall.
+func (w *WPU) Tick() {
+	if w.Done() {
+		return
+	}
+	w.adaptSlip()
+
+	// Fine-grained round-robin: pick a ready SIMD group each cycle (switching
+	// costs nothing, §3.3). Interleaving sibling warp-splits keeps them in
+	// near-lockstep so PC-based re-convergence re-unites them promptly at
+	// control-flow joins (Figure 6d).
+	// A cold instruction fetch stalls the front end until the refill
+	// arrives (rare: kernels are resident after the cold start).
+	if w.q.Now() < w.fetchStallUntil {
+		w.stallCycle()
+		return
+	}
+	w.cur = w.pickNext()
+	if w.cur == nil && (w.cfg.MemScheme == ReviveSplit || w.cfg.MemScheme == PredictiveSplit) {
+		if w.tryRevive() {
+			w.cur = w.pickNext()
+		}
+	}
+	if w.cur == nil {
+		w.stallCycle()
+		return
+	}
+	if !w.issueOne(w.cur) {
+		w.stallCycle()
+	}
+}
+
+func (w *WPU) stallCycle() {
+	for _, warp := range w.warps {
+		for _, s := range warp.splits {
+			if s.state == WaitMem || s.state == WaitSlip {
+				w.Stats.StallMemCycles++
+				w.intervalWait++
+				return
+			}
+			if len(s.slipped) > 0 {
+				w.Stats.StallMemCycles++
+				w.intervalWait++
+				return
+			}
+		}
+	}
+	w.Stats.StallOtherCyc++
+}
+
+// pickNext selects the ready resident SIMD group whose threads have
+// retired the fewest instructions, starting the scan round-robin for
+// determinism and cross-warp fairness. Least-progressed-first keeps
+// divergent siblings near-lockstep — the interleaving of Figure 6d — so
+// they re-converge promptly instead of chasing each other through loops.
+func (w *WPU) pickNext() *Split {
+	n := len(w.slots)
+	var best *Split
+	bestIdx := -1
+	for i := 0; i < n; i++ {
+		idx := (w.rrNext + i) % n
+		s := w.slots[idx]
+		if s == nil || s.state != Ready {
+			continue
+		}
+		if w.cfg.DisableProgSched {
+			// Ablation: plain round-robin.
+			w.rrNext = (idx + 1) % n
+			return s
+		}
+		if best == nil || s.prog < best.prog {
+			best, bestIdx = s, idx
+		}
+	}
+	if best != nil {
+		w.rrNext = (bestIdx + 1) % n
+	}
+	return best
+}
+
+// issueOne executes one instruction for the split's active mask. It
+// returns false when the cycle degenerated into a stall (slip swap wait).
+func (w *WPU) issueOne(s *Split) bool {
+	if !w.icache.Fetch(w.fetchBase + s.pc) {
+		w.Stats.IFetchMisses++
+		w.fetchStallUntil = w.q.Now() + engine.Cycle(w.cfg.IMissLat)
+		// The refill is an event: it keeps the machine's clock honest (the
+		// deadlock detector knows something is still in flight).
+		w.q.At(w.fetchStallUntil, func() { w.progress++ })
+		return false
+	}
+	in := w.prog.Code[s.pc]
+
+	// Adaptive slip: absorb fall-behind groups whose PC we revisit (§5.7),
+	// and stall at conditional branches until all slipped threads caught up
+	// (SlipOn only; Slip.BranchBypass proceeds).
+	if w.cfg.Slip != SlipOff {
+		w.slipAbsorb(s)
+		if s.state != Ready {
+			return false
+		}
+		needJoin := in.Op.IsBranch() && w.cfg.Slip == SlipOn
+		if needJoin && len(s.slipped) > 0 {
+			if w.slipSwapIn(s) {
+				in = w.prog.Code[s.pc]
+			} else if len(s.slipped) > 0 {
+				s.state = WaitSlip
+				return false
+			}
+			// Otherwise all fall-behind groups were promoted to their own
+			// splits; the branch can proceed for the remaining mask.
+		}
+	}
+
+	// BranchLimited re-convergence (§5.3.1): memory-divergence splits stall
+	// and re-merge at the next conditional branch.
+	if in.Op.IsBranch() && s.scope != nil && s.scope.limitControl && s.baseStack() {
+		w.arriveAtScope(s)
+		return false
+	}
+
+	w.Stats.Issued++
+	w.Stats.BusyCycles++
+	w.intervalBusy++
+	s.prog++
+	width := uint64(s.mask.Count())
+	w.Stats.WidthAccum += width
+	w.Stats.ThreadOps += width
+	if in.Op.IsFloat() {
+		w.Stats.FloatOps += width
+	}
+
+	switch {
+	case in.Op == isa.HALT:
+		w.finishHalt(s)
+	case in.Op == isa.BARRIER:
+		w.enterBarrier(s)
+	case in.Op == isa.JMP:
+		s.pc = in.Target
+		w.postPCUpdate(s)
+	case in.Op.IsBranch():
+		w.execBranch(s, in)
+	case in.Op.IsMem():
+		w.execMem(s, in)
+		w.cur = nil // switch SIMD groups on every cache access (§3.3)
+	default:
+		warp := s.warp
+		s.mask.Lanes(func(lane int) {
+			isa.ExecALU(in, &warp.regs[lane])
+		})
+		s.pc++
+		w.postPCUpdate(s)
+	}
+	// PC-based re-convergence (§4.5): a ready sibling parked at the PC the
+	// running split just reached re-unites with it at no cost to either —
+	// the sibling was waiting for issue anyway.
+	if w.cfg.PCReconv && s.state == Ready {
+		w.tryPCMerge(s)
+	}
+	return true
+}
+
+// postPCUpdate applies re-convergence stack pops, retires empty splits and
+// registers sync-scope arrivals after any PC change. It may consume s.
+func (w *WPU) postPCUpdate(s *Split) {
+	if s.state == Dead {
+		return
+	}
+	for {
+		s.mask &^= s.warp.halted
+		if !s.baseStack() {
+			if s.mask.Empty() || s.pc == s.tos().ReconvPC {
+				s.stack = s.stack[:len(s.stack)-1]
+				e := s.tos()
+				s.pc = e.PC
+				s.mask = e.Mask
+				continue
+			}
+			return
+		}
+		if s.mask.Empty() {
+			w.retire(s)
+			return
+		}
+		if s.scope != nil && s.pc == s.scope.reconvPC {
+			w.arriveAtScope(s)
+			return
+		}
+		return
+	}
+}
+
+// retire removes a split whose threads have all halted (or merged away),
+// updating any scope waiting on them.
+func (w *WPU) retire(s *Split) {
+	w.promoteAllSlip(s)
+	sc := s.scope
+	w.removeSplit(s)
+	if sc != nil {
+		w.maybeCompleteScope(sc)
+	}
+}
+
+// finishHalt terminates the split's active threads. With a non-base stack
+// the sibling/parent paths continue; with slip leftovers the fall-behind
+// threads take over; otherwise the split retires.
+func (w *WPU) finishHalt(s *Split) {
+	w.warpHalt(s.warp, s.mask)
+	s.mask = 0
+	if len(s.parked) > 0 {
+		// A parked run-ahead group exists (slip): resume it.
+		p := s.parked[len(s.parked)-1]
+		s.parked = s.parked[:len(s.parked)-1]
+		s.mask = p.mask
+		s.pc = p.pc
+		return
+	}
+	if len(s.slipped) > 0 {
+		if !w.slipSwapIn(s) && len(s.slipped) > 0 {
+			s.state = WaitSlip
+		}
+		if s.state == WaitSlip || !s.mask.Empty() {
+			return
+		}
+	}
+	w.postPCUpdate(s)
+}
+
+func (w *WPU) warpHalt(warp *Warp, mask Mask) {
+	warp.halted |= mask
+}
+
+// enterBarrier parks the split at a kernel-wide barrier. Barriers are only
+// legal outside divergent regions; kernels violating that are authoring
+// bugs, caught here.
+func (w *WPU) enterBarrier(s *Split) {
+	if !s.baseStack() {
+		panic(fmt.Sprintf("wpu: %s reached a barrier inside a divergent region", s))
+	}
+	if len(s.slipped) > 0 {
+		if w.slipSwapIn(s) {
+			return
+		}
+		if len(s.slipped) > 0 {
+			s.state = WaitSlip
+			return
+		}
+	}
+	s.state = AtBarrier
+	w.releaseSlot(s)
+}
+
+// BarrierReady reports whether every live thread on this WPU is parked at
+// a barrier (vacuously true when the WPU is done).
+func (w *WPU) BarrierReady() bool {
+	if !w.launched {
+		return true
+	}
+	for _, warp := range w.warps {
+		var at Mask
+		for _, s := range warp.splits {
+			if s.state == AtBarrier {
+				at |= s.mask
+			}
+		}
+		if at != warp.liveUnhalted() {
+			return false
+		}
+	}
+	return true
+}
+
+// AnyAtBarrier reports whether at least one split is parked at a barrier.
+func (w *WPU) AnyAtBarrier() bool {
+	for _, warp := range w.warps {
+		for _, s := range warp.splits {
+			if s.state == AtBarrier {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ReleaseBarrier resumes all parked splits past the barrier, re-forming one
+// full SIMD group per warp.
+func (w *WPU) ReleaseBarrier() {
+	for _, warp := range w.warps {
+		var parked []*Split
+		for _, s := range warp.splits {
+			if s.state == AtBarrier {
+				parked = append(parked, s)
+			}
+		}
+		if len(parked) == 0 {
+			continue
+		}
+		root := parked[0]
+		for _, o := range parked[1:] {
+			root.mask |= o.mask
+			o.scope = nil
+			w.removeSplit(o)
+		}
+		root.scope = nil
+		root.pc++
+		root.state = Ready
+		root.stack[0] = StackEntry{ReconvPC: program.NoIPdom, PC: root.pc, Mask: root.mask}
+		w.acquireSlot(root)
+		w.progress++
+	}
+}
+
+// execBranch evaluates a conditional branch, handling uniform outcomes,
+// dynamic warp subdivision (§4), and conventional stack push serialisation.
+func (w *WPU) execBranch(s *Split, in isa.Inst) {
+	warp := s.warp
+	var taken Mask
+	s.mask.Lanes(func(lane int) {
+		if isa.BranchTaken(in, &warp.regs[lane]) {
+			taken |= LaneMask(lane)
+		}
+	})
+	notTaken := s.mask &^ taken
+
+	w.Stats.Branches++
+	if taken.Empty() || notTaken.Empty() {
+		if notTaken.Empty() {
+			s.pc = in.Target
+		} else {
+			s.pc++
+		}
+		w.postPCUpdate(s)
+		if s.state == Ready && w.cfg.PCReconv {
+			w.tryPCMerge(s)
+		}
+		return
+	}
+
+	w.Stats.DivBranch++
+	bi, _ := w.prog.Branch(s.pc)
+
+	subdivide := false
+	switch {
+	case s.scope != nil:
+		// Already in asynchronous subdivided mode (§4.4): nested divergent
+		// branches keep subdividing (BranchLimited scopes never get here —
+		// they arrive at the branch instead).
+		subdivide = w.wstRoom()
+	case w.cfg.SubdivideOnBranch && bi.Subdividable:
+		// Subdivide only when the WPU actually needs another SIMD group to
+		// hide latency; otherwise the conventional stack serialises the arms
+		// at the same issue cost with a guaranteed re-join. (The paper gates
+		// memory subdivision this way — LazySplit, §5.2 — and motivates the
+		// same over-subdivision concern for branches in §4.3; our kernels'
+		// basic blocks are small enough that the static filter alone lets
+		// busy pipelines shred, so the laziness applies here too.)
+		subdivide = w.readyOthers(s) < w.cfg.BranchLazyThreshold && w.wstRoom()
+	}
+
+	if subdivide {
+		w.subdivideBranch(s, taken, notTaken, in.Target)
+		return
+	}
+
+	// Conventional re-convergence stack (Fung et al.): serialise the paths.
+	parent := s.tos()
+	parent.PC = bi.IPdom
+	s.stack = append(s.stack,
+		StackEntry{ReconvPC: bi.IPdom, PC: s.pc + 1, Mask: notTaken},
+		StackEntry{ReconvPC: bi.IPdom, PC: in.Target, Mask: taken},
+	)
+	s.pc = in.Target
+	s.mask = taken
+	w.postPCUpdate(s)
+}
+
+// subdivideBranch forks s into two concurrently schedulable warp-splits
+// (§4.2). If s carries a private stack it is frozen into a sync scope whose
+// re-convergence PC is the post-dominator on top of the stack (§4.4).
+func (w *WPU) subdivideBranch(s *Split, taken, notTaken Mask, target int) {
+	w.Stats.BranchSubdivisions++
+	scope := s.scope
+	if !s.baseStack() {
+		scope = &SyncScope{
+			warp:     s.warp,
+			reconvPC: s.syncPC(),
+			expected: s.mask,
+			frozen:   s.stack,
+			parent:   s.scope,
+		}
+	}
+	fallthrough_ := s.pc + 1
+	// The taken path keeps the split object (and its scheduler slot).
+	s.mask = taken
+	s.pc = target
+	s.stack = []StackEntry{{ReconvPC: program.NoIPdom, PC: target, Mask: taken}}
+	s.scope = scope
+
+	nt := w.newSplit(s.warp, notTaken, fallthrough_, scope)
+	nt.prog = s.prog
+	w.addSplit(nt)
+	w.postPCUpdate(nt)
+	w.postPCUpdate(s)
+}
+
+// execMem issues one SIMD memory instruction: functional execution at
+// issue, per-line coalescing into the banked L1, divergence detection, and
+// the configured subdivision or slip response.
+func (w *WPU) execMem(s *Split, in isa.Inst) {
+	warp := s.warp
+	write := in.Op == isa.ST
+	s.memSince++
+
+	// Functional execution and per-line coalescing.
+	type lineGroup struct {
+		addr  uint64
+		lanes Mask
+	}
+	var groups []lineGroup
+	lineIdx := make(map[uint64]int, 4)
+	s.mask.Lanes(func(lane int) {
+		r := &warp.regs[lane]
+		addr := isa.EffAddr(in, r)
+		if write {
+			w.fmem.Write(addr, r.Get(in.SrcB))
+		} else {
+			r.Set(in.Dst, w.fmem.Read(addr))
+		}
+		la := w.l1.Line(addr)
+		gi, ok := lineIdx[la]
+		if !ok {
+			gi = len(groups)
+			lineIdx[la] = gi
+			groups = append(groups, lineGroup{addr: la})
+		}
+		groups[gi].lanes |= LaneMask(lane)
+	})
+
+	w.Stats.MemInsts++
+	w.Stats.MemAccesses++
+	w.Stats.LineAccesses += uint64(len(groups))
+
+	var hitMask, missMask Mask
+	tokens := make([]*memToken, len(groups))
+	for i, g := range groups {
+		tok := &memToken{lanes: g.lanes}
+		tokens[i] = tok
+		hit := w.l1.Access(g.addr, write, func() { tok.owner.onLineDone(tok.lanes) })
+		if hit {
+			hitMask |= g.lanes
+		} else {
+			missMask |= g.lanes
+		}
+	}
+
+	if missMask != 0 {
+		w.observeRunAheadMiss(s)
+		w.Stats.MemWithMiss++
+		missMask.Lanes(func(lane int) {
+			w.Stats.ThreadMisses[warp.id][lane]++
+		})
+	}
+	divergent := hitMask != 0 && missMask != 0
+	if divergent {
+		w.Stats.MemDivergent++
+	}
+
+	s.pc++ // the instruction is architecturally complete; data is pending
+
+	// Default: the whole group waits for its slowest thread.
+	assignOwner := func(target completionTarget, lanes Mask) {
+		for _, tok := range tokens {
+			if tok.lanes&lanes != 0 {
+				tok.owner = target
+			}
+		}
+	}
+
+	if divergent && w.cfg.Slip != SlipOff {
+		if w.trySlip(s, hitMask, missMask, assignOwner) {
+			return
+		}
+	} else if divergent && w.cfg.MemScheme != MemNone {
+		if w.shouldMemSubdivide(s) {
+			w.subdivideMem(s, hitMask, missMask, assignOwner)
+			return
+		}
+	}
+
+	s.state = WaitMem
+	s.pending = s.mask
+	assignOwner(s, s.mask)
+	w.tryWaitMerge(s)
+}
+
+// tryWaitMerge applies PC-based re-convergence to SIMD groups suspended at
+// the same PC (§4.5 compares PCs when memory instructions execute; groups
+// that fell into phase-lock — e.g. a run-ahead and a fall-behind streaming
+// the same loop one miss apart — re-unite here). Freshly subdivided pairs
+// are exempt: their whole point is to wait separately.
+func (w *WPU) tryWaitMerge(s *Split) {
+	if w.cfg.DisableWaitMerge {
+		return
+	}
+	if !w.cfg.PCReconv || s.state != WaitMem || !s.baseStack() || s.memSince == 0 {
+		return
+	}
+	for i := 0; i < len(s.warp.splits); i++ {
+		o := s.warp.splits[i]
+		// Re-unite with siblings suspended at the same PC, and with ready
+		// siblings parked there (they pay the remainder of s's wait — a few
+		// cycles for hits; ReviveSplit re-splits them if it drags on).
+		if o == s || (o.state != WaitMem && o.state != Ready) || o.pc != s.pc ||
+			o.scope != s.scope || !o.baseStack() || o.memSince == 0 {
+			continue
+		}
+		s.mask |= o.mask
+		s.pending |= o.pending
+		s.stack[0].Mask = s.mask
+		if o.prog > s.prog {
+			s.prog = o.prog
+		}
+		s.slipped = append(s.slipped, o.slipped...)
+		s.parked = append(s.parked, o.parked...)
+		for _, e := range o.slipped {
+			e.split = s
+		}
+		o.slipped = nil
+		o.parked = nil
+		o.mergedInto = s
+		o.scope = nil
+		w.removeSplit(o)
+		w.Stats.WaitMerges++
+		i = -1 // the splits slice changed; rescan
+	}
+}
+
+// anyOtherReady reports whether a SIMD group other than s could issue.
+func (w *WPU) anyOtherReady(s *Split) bool { return w.readyOthers(s) > 0 }
+
+// readyOthers counts resident SIMD groups other than s that could issue.
+func (w *WPU) readyOthers(s *Split) int {
+	n := 0
+	for _, o := range w.slots {
+		if o != nil && o != s && o.state == Ready {
+			n++
+		}
+	}
+	return n
+}
+
+// shouldMemSubdivide applies the §5.2 subdivision schemes at access time.
+func (w *WPU) shouldMemSubdivide(s *Split) bool {
+	switch w.cfg.MemScheme {
+	case AggressSplit:
+		return w.wstRoom()
+	case LazySplit, ReviveSplit:
+		// Subdivide only when no other SIMD group can hide the latency.
+		return !w.anyOtherReady(s) && w.wstRoom()
+	case PredictiveSplit:
+		return !w.anyOtherReady(s) && w.predictor.allow(s.pc) && w.wstRoom()
+	}
+	return false
+}
+
+// subdivideMem forks s at a memory divergence (§5.4): threads that hit form
+// a run-ahead split; s remains the fall-behind split (it owns the pending
+// line completions). Under BranchLimited a sync scope always binds the
+// children; under BranchBypass one is needed only to freeze a non-base
+// stack.
+func (w *WPU) subdivideMem(s *Split, hitMask, missMask Mask, assignOwner func(completionTarget, Mask)) {
+	w.Stats.MemSubdivisions++
+	scope := s.scope
+	if w.cfg.MemReconv == BranchLimited || !s.baseStack() {
+		scope = &SyncScope{
+			warp:         s.warp,
+			reconvPC:     s.syncPC(),
+			limitControl: w.cfg.MemReconv == BranchLimited,
+			expected:     s.mask,
+			frozen:       s.stack,
+			parent:       s.scope,
+		}
+	}
+	pc := s.pc
+	tracef("memsub: %v hit=%x miss=%x scope %p{reconv=%d} parent %p", s, uint64(hitMask), uint64(missMask), scope, scopeReconv(scope), parentOf(scope))
+
+	hit := w.newSplit(s.warp, hitMask, pc, scope)
+	hit.state = WaitMem // completes after the hit latency
+	hit.pending = hitMask
+	hit.prog = s.prog
+	if w.cfg.MemScheme == PredictiveSplit {
+		rec := &subdivRecord{pc: pc - 1}
+		hit.subRec = rec
+		s.subRec = rec
+	}
+
+	s.memSince = 0
+	s.mask = missMask
+	s.stack = []StackEntry{{ReconvPC: program.NoIPdom, PC: pc, Mask: missMask}}
+	s.scope = scope
+	s.state = WaitMem
+	s.pending = missMask
+
+	assignOwner(hit, hitMask)
+	assignOwner(s, missMask)
+	w.addSplit(hit)
+}
+
+// tryRevive implements ReviveSplit's second trigger (§5.2): when the
+// pipeline stalls, subdivide one suspended SIMD group whose outstanding
+// requests have partially completed, letting the satisfied threads run.
+func (w *WPU) tryRevive() bool {
+	for _, s := range w.slots {
+		if s == nil || s.state != WaitMem {
+			continue
+		}
+		arrived := s.mask &^ s.pending
+		if arrived.Empty() || s.pending.Empty() {
+			continue
+		}
+		if !w.wstRoom() {
+			return false
+		}
+		w.Stats.Revivals++
+		w.Stats.MemSubdivisions++
+		w.progress++
+		scope := s.scope
+		if w.cfg.MemReconv == BranchLimited || !s.baseStack() {
+			scope = &SyncScope{
+				warp:         s.warp,
+				reconvPC:     s.syncPC(),
+				limitControl: w.cfg.MemReconv == BranchLimited,
+				expected:     s.mask,
+				frozen:       s.stack,
+				parent:       s.scope,
+			}
+		}
+		tracef("revive: %v arrived=%x scope %p{reconv=%d}", s, uint64(arrived), scope, scopeReconv(scope))
+		ready := w.newSplit(s.warp, arrived, s.pc, scope)
+		ready.state = Ready
+		ready.prog = s.prog
+
+		s.memSince = 0
+		s.mask = s.pending
+		s.stack = []StackEntry{{ReconvPC: program.NoIPdom, PC: s.pc, Mask: s.mask}}
+		s.scope = scope
+
+		w.addSplit(ready)
+		w.postPCUpdate(ready)
+		if ready.state == Ready && w.cfg.PCReconv {
+			w.tryPCMerge(ready)
+		}
+		return true
+	}
+	return false
+}
+
+// onLineDone is the completion target for a split waiting on memory,
+// following wait-merge forwarding so completions reach the surviving group.
+func (s *Split) onLineDone(lanes Mask) {
+	t := s
+	for t.mergedInto != nil {
+		t = t.mergedInto
+	}
+	t.pending &^= lanes
+	if t.pending.Empty() && t.state == WaitMem {
+		t.warp.wpu.becomeReady(t)
+	}
+}
+
+// becomeReady transitions a split out of WaitMem, applying re-convergence.
+func (w *WPU) becomeReady(s *Split) {
+	w.closeSubdivRecord(s)
+	s.state = Ready
+	w.postPCUpdate(s)
+	if s.state == Ready && w.cfg.PCReconv {
+		w.tryPCMerge(s)
+	}
+}
+
+// tryPCMerge implements PC-based re-convergence (§4.5): ready sibling
+// splits of the same warp and scope whose PCs met re-unite into one wider
+// SIMD group.
+func (w *WPU) tryPCMerge(s *Split) {
+	if !s.baseStack() {
+		return
+	}
+	for {
+		var other *Split
+		for _, o := range s.warp.splits {
+			if o == s || o.state != Ready || o.pc != s.pc || o.scope != s.scope || !o.baseStack() {
+				continue
+			}
+			other = o
+			break
+		}
+		if other == nil {
+			return
+		}
+		target, victim := s, other
+		if !s.resident && other.resident {
+			target, victim = other, s
+		}
+		target.mask |= victim.mask
+		target.stack[0].Mask = target.mask
+		if victim.prog > target.prog {
+			target.prog = victim.prog
+		}
+		for _, e := range victim.slipped {
+			e.split = target
+		}
+		target.slipped = append(target.slipped, victim.slipped...)
+		target.parked = append(target.parked, victim.parked...)
+		victim.slipped = nil
+		victim.parked = nil
+		victim.scope = nil // do not disturb the scope on removal
+		w.removeSplit(victim)
+		w.Stats.PCMerges++
+		if target != s {
+			// s was absorbed; continue merging from the survivor.
+			s = target
+		}
+	}
+}
+
+// arriveAtScope parks a split's threads at its sync scope (stack-based
+// re-convergence, §4.4; or the BranchLimited barrier at a branch, §5.3.1).
+func (w *WPU) arriveAtScope(s *Split) {
+	w.progress++
+	w.promoteAllSlip(s)
+	sc := s.scope
+	if !sc.arrived.Empty() && sc.arrivedPC != s.pc {
+		panic(fmt.Sprintf("wpu: %s arrives at scope{reconvPC=%d} at pc %d but earlier arrivals parked at %d",
+			s, sc.reconvPC, s.pc, sc.arrivedPC))
+	}
+	tracef("arrive: %v at scope %p{reconv=%d lim=%v exp=%x arr=%x}", s, sc, sc.reconvPC, sc.limitControl, uint64(sc.expected), uint64(sc.arrived))
+	sc.arrived |= s.mask
+	sc.arrivedPC = s.pc
+	s.scope = nil
+	w.removeSplit(s)
+	w.maybeCompleteScope(sc)
+}
+
+// maybeCompleteScope re-creates the frozen SIMD group once every expected
+// thread has arrived (or halted), then resumes the conventional stack.
+func (w *WPU) maybeCompleteScope(sc *SyncScope) {
+	sc.expected &^= sc.warp.halted
+	sc.arrived &^= sc.warp.halted
+	if sc.arrived != sc.expected {
+		return
+	}
+	w.Stats.ScopeMerges++
+	tracef("complete scope %p at pc %d mask %x", sc, sc.arrivedPC, uint64(sc.expected))
+	merged := &Split{
+		id:    w.nextSplitIDInc(),
+		warp:  sc.warp,
+		mask:  sc.expected,
+		pc:    sc.arrivedPC,
+		state: Ready,
+		stack: sc.frozen,
+		scope: sc.parent,
+	}
+	if sc.expected.Empty() {
+		merged.pc = sc.reconvPC
+	}
+	merged.tos().Mask = sc.expected
+	w.addSplit(merged)
+	w.postPCUpdate(merged)
+	if merged.state == Ready && w.cfg.PCReconv {
+		w.tryPCMerge(merged)
+	}
+}
+
+func (w *WPU) nextSplitIDInc() int {
+	w.nextSplitID++
+	return w.nextSplitID
+}
