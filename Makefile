@@ -1,0 +1,35 @@
+# CI entry points. `make ci` is the gate: formatting, vet, build, the
+# race detector over the parallel executor, and the full test suite.
+
+GO ?= go
+
+.PHONY: ci fmt-check vet build test race bench report
+
+ci: fmt-check vet build race test
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race run exercises concurrent Session use (singleflight, worker
+# pool, disk store) over the whole report package.
+race:
+	$(GO) test -race ./internal/report/...
+
+# Baseline perf snapshot: the full exhibit set at -j 1 vs -j GOMAXPROCS
+# (see EXPERIMENTS.md for recorded numbers).
+bench:
+	$(GO) test -bench FullReport -benchtime 1x -run '^$$' .
+
+# Regenerate the paper's exhibits with the parallel executor.
+report:
+	$(GO) run ./cmd/dwsreport

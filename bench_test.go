@@ -196,6 +196,66 @@ func BenchmarkFigure21(b *testing.B) {
 	}
 }
 
+// BenchmarkFullReport times the complete exhibit set (the whole dwsreport
+// run, quick Figure 18 grid) through the parallel executor — the baseline
+// perf snapshot future PRs compare against (see EXPERIMENTS.md). Run as:
+//
+//	go test -bench FullReport -benchtime 1x -run '^$' .
+//
+// The j1 variant pins one worker; the default variant uses GOMAXPROCS
+// workers, so the ratio is the executor's wall-clock speedup on this host.
+func BenchmarkFullReport(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		opts []report.Option
+	}{
+		{"j1", []report.Option{report.WithJobs(1)}},
+		{"jmax", nil},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := report.NewSession(bc.opts...)
+				if err := runFullReport(s); err != nil {
+					b.Fatal(err)
+				}
+				st := s.Stats()
+				b.ReportMetric(float64(st.Misses), "sims")
+				b.ReportMetric(float64(st.Misses)/b.Elapsed().Seconds(), "sims/s")
+			}
+		})
+	}
+}
+
+// runFullReport regenerates every exhibit into io.Discard.
+func runFullReport(s *report.Session) error {
+	w := io.Discard
+	steps := []func() error{
+		func() error { _, err := s.Table1(w); return err },
+		func() error { _, err := s.Figure1a(w); return err },
+		func() error { _, err := s.Figure1b(w); return err },
+		func() error { _, err := s.Figure1c(w); return err },
+		func() error { _, err := s.Figure7(w); return err },
+		func() error { _, err := s.Figure11(w); return err },
+		func() error { _, err := s.Figure13(w); return err },
+		func() error { return s.Headline(w) },
+		func() error { _, err := s.Figure14(w); return err },
+		func() error { _, err := s.Figure15(w); return err },
+		func() error { _, err := s.Figure16(w); return err },
+		func() error { _, err := s.Figure17(w); return err },
+		func() error { _, err := s.Figure18(w, true); return err },
+		func() error { _, err := s.Figure19(w); return err },
+		func() error { _, err := s.Figure20(w); return err },
+		func() error { _, err := s.Figure21(w); return err },
+		func() error { _, err := s.Ablation(w); return err },
+	}
+	for _, f := range steps {
+		if err := f(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // BenchmarkSimulatorThroughput measures raw simulation speed (simulated
 // cycles per wall-second) on the default configuration — useful when
 // tuning the simulator itself rather than reproducing exhibits.

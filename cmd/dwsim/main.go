@@ -1,10 +1,13 @@
 // dwsim runs one benchmark under one configuration and prints the
-// statistics the paper's evaluation is built from.
+// statistics the paper's evaluation is built from. Runs go through the
+// report.Session executor, so they hit the shared on-disk result store
+// and, with -bench all, simulate concurrently under -j.
 //
 // Usage:
 //
 //	dwsim -bench Merge -scheme DWS.ReviveSplit
 //	dwsim -bench FFT -scheme Conv -width 8 -warps 8 -l1kb 64
+//	dwsim -bench all -j 8 -nocache
 package main
 
 import (
@@ -13,8 +16,7 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/energy"
-	"repro/internal/engine"
+	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 	"repro/internal/wpu"
@@ -33,23 +35,30 @@ func main() {
 		l1assoc   = flag.Int("l1assoc", 8, "L1 D-cache associativity (0 = fully associative)")
 		l2lat     = flag.Int("l2lat", 30, "L2 lookup latency in cycles")
 		l2kb      = flag.Int("l2kb", 4096, "L2 size in KB")
+		dist      = flag.String("dist", "block", "thread-to-WPU mapping: block or interleave")
 		scale     = flag.Int("scale", 1, "input-size multiplier (power of two; see workloads.AllWithScale)")
 		verify    = flag.Bool("verify", true, "verify results against the host reference")
 		showDis   = flag.Bool("disasm", false, "print each kernel's disassembly instead of running")
+		jobs      = flag.Int("j", 0, "max concurrent simulations with -bench all (0 = GOMAXPROCS)")
+		cacheDir  = flag.String("cachedir", "", "on-disk result store directory (default ~/.cache/dwsim)")
+		noCache   = flag.Bool("nocache", false, "disable the on-disk result store")
 	)
 	flag.Parse()
 
-	cfg := sim.DefaultConfig()
-	cfg.WPUs = *wpus
-	cfg.WPU.Width = *width
-	cfg.WPU.Warps = *warps
-	cfg.WPU.SchedSlots = *slots
-	cfg.WPU.WSTEntries = *wst
-	cfg.Hier.L1.SizeBytes = *l1kb * 1024
-	cfg.Hier.L1.Ways = *l1assoc
-	cfg.Hier.L2.LookupLat = engine.Cycle(*l2lat)
-	cfg.Hier.L2.SizeBytes = *l2kb * 1024
-	cfg.WPU = wpu.Scheme(*scheme).Apply(cfg.WPU)
+	k := report.Knobs{
+		WPUs: *wpus, Width: *width, Warps: *warps, Slots: *slots, WST: *wst,
+		L1KB: *l1kb, L1Assoc: *l1assoc, L2KB: *l2kb, L2Lat: *l2lat,
+		Scheme: wpu.Scheme(*scheme), Scale: *scale,
+	}
+	switch *dist {
+	case "block":
+		k.Dist = sim.DistBlock
+	case "interleave":
+		k.Dist = sim.DistInterleave
+	default:
+		fmt.Fprintf(os.Stderr, "dwsim: unknown -dist %q (want block or interleave)\n", *dist)
+		os.Exit(1)
+	}
 
 	names := []string{*benchName}
 	if *benchName == "all" {
@@ -58,11 +67,44 @@ func main() {
 			names = append(names, s.Name)
 		}
 	}
+
+	if *showDis {
+		for _, name := range names {
+			if err := disasm(name, k); err != nil {
+				fmt.Fprintln(os.Stderr, "dwsim:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	opts := []report.Option{report.WithJobs(*jobs)}
+	if !*noCache {
+		st, err := report.OpenStore(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dwsim: %v (continuing without the on-disk store)\n", err)
+		} else {
+			opts = append(opts, report.WithStore(st))
+		}
+	}
+	s := report.NewSession(opts...)
+	s.Verify = *verify
+
+	var grid []report.Job
 	for _, name := range names {
-		if err := runOne(name, cfg, *scheme, *scale, *verify, *showDis); err != nil {
+		grid = append(grid, report.Job{Bench: name, Knobs: k})
+	}
+	if err := s.Prefetch(grid); err != nil {
+		fmt.Fprintln(os.Stderr, "dwsim:", err)
+		os.Exit(1)
+	}
+	for _, name := range names {
+		r, err := s.Run(name, k)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "dwsim:", err)
 			os.Exit(1)
 		}
+		printRun(name, k, r)
 	}
 }
 
@@ -74,12 +116,14 @@ func schemeList() string {
 	return strings.Join(names, ", ")
 }
 
-func runOne(name string, cfg sim.Config, scheme string, scale int, verify, showDis bool) error {
-	spec, err := workloads.ByNameScaled(name, scale)
+// disasm prints each kernel's disassembly; it builds the workload against
+// a throwaway machine instead of simulating it.
+func disasm(name string, k report.Knobs) error {
+	spec, err := workloads.ByNameScaled(name, k.Scale)
 	if err != nil {
 		return err
 	}
-	sys, err := sim.New(cfg)
+	sys, err := sim.New(k.Config())
 	if err != nil {
 		return err
 	}
@@ -87,33 +131,25 @@ func runOne(name string, cfg sim.Config, scheme string, scale int, verify, showD
 	if err != nil {
 		return err
 	}
-	if showDis {
-		seen := map[string]bool{}
-		for _, st := range inst.Steps() {
-			if seen[st.Prog.Name] {
-				continue
-			}
-			seen[st.Prog.Name] = true
-			fmt.Printf("== %s ==\n%s\n", st.Prog.Name, st.Prog.Disassemble())
+	seen := map[string]bool{}
+	for _, st := range inst.Steps() {
+		if seen[st.Prog.Name] {
+			continue
 		}
-		return nil
+		seen[st.Prog.Name] = true
+		fmt.Printf("== %s ==\n%s\n", st.Prog.Name, st.Prog.Disassemble())
 	}
-	if err := inst.Run(sys); err != nil {
-		return err
-	}
-	if verify {
-		if err := inst.Verify(); err != nil {
-			return err
-		}
-	}
+	return nil
+}
 
-	st := sys.TotalStats()
-	l1 := sys.L1Stats()
-	e := energy.Estimate(sys)
+func printRun(name string, k report.Knobs, r report.Result) {
+	st := r.Stats
+	l1 := r.L1
+	e := r.Energy
 	fmt.Printf("%-8s %-24s cycles=%-9d busy=%.1f%% memstall=%.1f%% width=%.1f/%d\n",
-		name, scheme, sys.Cycles(),
+		name, k.Scheme, r.Cycles,
 		100*float64(st.BusyCycles)/float64(st.Cycles()),
-		100*st.MemStallFraction(), st.MeanSIMDWidth(), cfg.WPU.Width)
+		100*st.MemStallFraction(), st.MeanSIMDWidth(), k.Width)
 	fmt.Printf("  instr=%d threadops=%d branches=%d (%.1f%% divergent) memacc=%d (%.1f%% divergent, %.1f%% with miss)\n",
 		st.Issued, st.ThreadOps, st.Branches, pct(st.DivBranch, st.Branches),
 		st.MemAccesses, pct(st.MemDivergent, st.MemAccesses), pct(st.MemWithMiss, st.MemAccesses))
@@ -124,7 +160,6 @@ func runOne(name string, cfg sim.Config, scheme string, scale int, verify, showD
 		fmt.Printf("  slip: events=%d merges=%d refused=%d\n", st.SlipEvents, st.SlipMerges, st.SlipRefused)
 	}
 	fmt.Printf("  energy=%.3f mJ (dynamic %.3f, leakage %.3f)\n", e.TotalmJ(), e.DynamicmJ(), e.LeakagemJ())
-	return nil
 }
 
 func pct(a, b uint64) float64 {

@@ -11,6 +11,11 @@
 //	                          # 14, 15, 16, 17, 18, 19, 20, 21, headline,
 //	                          # ablation)
 //	dwsreport -csv out/       # additionally write one CSV per exhibit
+//	dwsreport -j 8            # simulate up to 8 points concurrently
+//	dwsreport -nocache        # ignore the on-disk result store
+//
+// Exhibit text goes to stdout and is byte-identical across -j values and
+// cache states; per-exhibit timing and cache counters go to stderr.
 package main
 
 import (
@@ -24,13 +29,25 @@ import (
 
 func main() {
 	var (
-		quick  = flag.Bool("quick", false, "trim the Figure 18 grid")
-		only   = flag.String("only", "", "run a single exhibit")
-		csvDir = flag.String("csv", "", "directory to write per-exhibit CSV files")
+		quick    = flag.Bool("quick", false, "trim the Figure 18 grid")
+		only     = flag.String("only", "", "run a single exhibit")
+		csvDir   = flag.String("csv", "", "directory to write per-exhibit CSV files")
+		jobs     = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		cacheDir = flag.String("cachedir", "", "on-disk result store directory (default ~/.cache/dwsim)")
+		noCache  = flag.Bool("nocache", false, "disable the on-disk result store")
 	)
 	flag.Parse()
 
-	s := report.NewSession()
+	opts := []report.Option{report.WithJobs(*jobs)}
+	if !*noCache {
+		st, err := report.OpenStore(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dwsreport: %v (continuing without the on-disk store)\n", err)
+		} else {
+			opts = append(opts, report.WithStore(st))
+		}
+	}
+	s := report.NewSession(opts...)
 	w := os.Stdout
 	csvOut := func(fn func(dir string) error) error {
 		if *csvDir == "" {
@@ -159,15 +176,31 @@ func main() {
 			return csvOut(func(d string) error { return report.AblationCSV(d, rows) })
 		}, "Ablation (beyond paper)"},
 	}
+	allStart := time.Now()
 	for _, e := range exhibits {
 		if *only != "" && e.id != *only {
 			continue
 		}
 		start := time.Now()
+		before := s.Stats()
 		if err := e.fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "dwsreport: %s: %v\n", e.doc, err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(w, "[%s in %.1fs]\n\n", e.doc, time.Since(start).Seconds())
+		d := delta(before, s.Stats())
+		fmt.Fprintf(os.Stderr, "[%s in %.1fs: sims=%d disk-hits=%d mem-hits=%d]\n",
+			e.doc, time.Since(start).Seconds(), d.Misses, d.DiskHits, d.MemHits)
+		fmt.Fprintln(w)
+	}
+	t := s.Stats()
+	fmt.Fprintf(os.Stderr, "[total %.1fs at -j %d: sims=%d disk-hits=%d mem-hits=%d]\n",
+		time.Since(allStart).Seconds(), s.Jobs(), t.Misses, t.DiskHits, t.MemHits)
+}
+
+func delta(before, after report.CacheStats) report.CacheStats {
+	return report.CacheStats{
+		MemHits:  after.MemHits - before.MemHits,
+		DiskHits: after.DiskHits - before.DiskHits,
+		Misses:   after.Misses - before.Misses,
 	}
 }

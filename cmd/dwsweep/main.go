@@ -21,11 +21,14 @@ import (
 
 func main() {
 	var (
-		param  = flag.String("param", "l2lat", "knob to sweep: width, warps, slots, wst, l1kb, l1assoc, l2kb, l2lat")
-		values = flag.String("values", "10,30,100,200,300", "comma-separated sweep values")
-		bench  = flag.String("bench", "all", "benchmark name or 'all' (h-mean)")
-		scheme = flag.String("scheme", "Conv", "baseline scheme")
-		alt    = flag.String("alt", "DWS.ReviveSplit", "comparison scheme ('' to disable)")
+		param    = flag.String("param", "l2lat", "knob to sweep: width, warps, slots, wst, l1kb, l1assoc, l2kb, l2lat")
+		values   = flag.String("values", "10,30,100,200,300", "comma-separated sweep values")
+		bench    = flag.String("bench", "all", "benchmark name or 'all' (h-mean)")
+		scheme   = flag.String("scheme", "Conv", "baseline scheme")
+		alt      = flag.String("alt", "DWS.ReviveSplit", "comparison scheme ('' to disable)")
+		jobs     = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		cacheDir = flag.String("cachedir", "", "on-disk result store directory (default ~/.cache/dwsim)")
+		noCache  = flag.Bool("nocache", false, "disable the on-disk result store")
 	)
 	flag.Parse()
 
@@ -68,7 +71,37 @@ func main() {
 		benches = report.BenchNames()
 	}
 
-	s := report.NewSession()
+	opts := []report.Option{report.WithJobs(*jobs)}
+	if !*noCache {
+		st, err := report.OpenStore(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dwsweep: %v (continuing without the on-disk store)\n", err)
+		} else {
+			opts = append(opts, report.WithStore(st))
+		}
+	}
+	s := report.NewSession(opts...)
+
+	// Submit the whole sweep grid to the worker pool up front; the print
+	// loop below then renders from the warm cache in deterministic order.
+	var grid []report.Job
+	for _, v := range vals {
+		kb := report.DefaultKnobs(wpu.Scheme(*scheme))
+		apply(&kb, v)
+		for _, b := range benches {
+			grid = append(grid, report.Job{Bench: b, Knobs: kb})
+			if *alt != "" {
+				ka := report.DefaultKnobs(wpu.Scheme(*alt))
+				apply(&ka, v)
+				grid = append(grid, report.Job{Bench: b, Knobs: ka})
+			}
+		}
+	}
+	if err := s.Prefetch(grid); err != nil {
+		fmt.Fprintln(os.Stderr, "dwsweep:", err)
+		os.Exit(1)
+	}
+
 	fmt.Printf("%-10s  %-12s", *param, *scheme+" cyc")
 	if *alt != "" {
 		fmt.Printf("  %-12s  %s", *alt+" cyc", "speedup")

@@ -23,6 +23,9 @@ type Table1Row struct {
 func (s *Session) Table1(w io.Writer) ([]Table1Row, error) {
 	var rows []Table1Row
 	base := DefaultKnobs(wpu.SchemeConv)
+	if err := s.Prefetch(suiteJobs(base)); err != nil {
+		return nil, err
+	}
 	for _, b := range BenchNames() {
 		r, err := s.Run(b, base)
 		if err != nil {
@@ -64,7 +67,23 @@ type SweepPoint struct {
 	MemStallFrac float64
 }
 
+// suiteJobs expands knob settings into one Job per (benchmark, knobs)
+// point, the unit the Prefetch worker pool consumes.
+func suiteJobs(knobs ...Knobs) []Job {
+	benches := BenchNames()
+	jobs := make([]Job, 0, len(knobs)*len(benches))
+	for _, k := range knobs {
+		for _, b := range benches {
+			jobs = append(jobs, Job{b, k})
+		}
+	}
+	return jobs
+}
+
 func (s *Session) breakdownSweep(w io.Writer, title string, knobs []Knobs, labels []string) ([]SweepPoint, error) {
+	if err := s.Prefetch(suiteJobs(knobs...)); err != nil {
+		return nil, err
+	}
 	var pts []SweepPoint
 	var baseCycles map[string]uint64
 	for i, k := range knobs {
@@ -179,6 +198,13 @@ type SchemeSpeedups struct {
 
 func (s *Session) schemeComparison(w io.Writer, title string, schemes []wpu.Scheme) ([]SchemeSpeedups, error) {
 	base := DefaultKnobs(wpu.SchemeConv)
+	all := []Knobs{base}
+	for _, sc := range schemes {
+		all = append(all, DefaultKnobs(sc))
+	}
+	if err := s.Prefetch(suiteJobs(all...)); err != nil {
+		return nil, err
+	}
 	var out []SchemeSpeedups
 	for _, sc := range schemes {
 		alt := DefaultKnobs(sc)
@@ -279,6 +305,9 @@ func (s *Session) Headline(w io.Writer) error {
 // benchmark as a 0-9 heat grid, normalised per benchmark.
 func (s *Session) Figure14(w io.Writer) (map[string][][]uint64, error) {
 	base := DefaultKnobs(wpu.SchemeConv)
+	if err := s.Prefetch(suiteJobs(base)); err != nil {
+		return nil, err
+	}
 	out := make(map[string][][]uint64)
 	fmt.Fprintln(w, "Figure 14: spatial distribution of memory divergence among SIMD threads")
 	fmt.Fprintln(w, "(rows = warps of WPU 0..3 stacked, columns = lanes; digits 0-9 scale to the benchmark's max)")
@@ -323,6 +352,17 @@ type SensitivityPoint struct {
 
 func (s *Session) sensitivity(w io.Writer, title string, vary func(k *Knobs, i int), labels []string) ([]SensitivityPoint, error) {
 	baseline := DefaultKnobs(wpu.SchemeConv)
+	all := []Knobs{baseline}
+	for i := range labels {
+		kc := DefaultKnobs(wpu.SchemeConv)
+		vary(&kc, i)
+		kd := DefaultKnobs(wpu.SchemeRevive)
+		vary(&kd, i)
+		all = append(all, kc, kd)
+	}
+	if err := s.Prefetch(suiteJobs(all...)); err != nil {
+		return nil, err
+	}
 	var pts []SensitivityPoint
 	for i, lab := range labels {
 		kc := DefaultKnobs(wpu.SchemeConv)
@@ -422,6 +462,27 @@ func (s *Session) Figure18(w io.Writer, quick bool) ([]Figure18Point, error) {
 	}
 	schemes := []wpu.Scheme{wpu.SchemeConv, wpu.SchemeRevive, wpu.SchemeSlipBranchBypass}
 
+	var all []Knobs
+	for _, su := range setups {
+		base := DefaultKnobs(wpu.SchemeConv)
+		base.L1KB = su.kb
+		base.L1Assoc = su.assoc
+		all = append(all, base)
+		for _, p := range pairs {
+			for _, sc := range schemes {
+				k := DefaultKnobs(sc)
+				k.L1KB = su.kb
+				k.L1Assoc = su.assoc
+				k.Width = p[0]
+				k.Warps = p[1]
+				all = append(all, k)
+			}
+		}
+	}
+	if err := s.Prefetch(suiteJobs(all...)); err != nil {
+		return nil, err
+	}
+
 	var pts []Figure18Point
 	fmt.Fprintln(w, "Figure 18: speedups across SIMD width x warps under different D-cache setups")
 	fmt.Fprintln(w, "(h-means over the suite, normalised to Conv 16-wide x 4 warps under the same cache setup)")
@@ -476,6 +537,13 @@ type EnergyRow struct {
 
 // Figure19: energy consumption normalised to Conv.
 func (s *Session) Figure19(w io.Writer) ([]EnergyRow, error) {
+	if err := s.Prefetch(suiteJobs(
+		DefaultKnobs(wpu.SchemeConv),
+		DefaultKnobs(wpu.SchemeRevive),
+		DefaultKnobs(wpu.SchemeSlipBranchBypass),
+	)); err != nil {
+		return nil, err
+	}
 	var rows []EnergyRow
 	for _, b := range BenchNames() {
 		rc, err := s.Run(b, DefaultKnobs(wpu.SchemeConv))
@@ -551,6 +619,13 @@ func (s *Session) Ablation(w io.Writer) ([]AblationRow, error) {
 		{"  - least-progress sched", func() Knobs { k := DefaultKnobs(wpu.SchemeRevive); k.NoProgSched = true; return k }()},
 		{"  unconditional branch split", func() Knobs { k := DefaultKnobs(wpu.SchemeRevive); k.BranchThresh = 1 << 20; return k }()},
 		{"DWS.PredictiveSplit (§8)", DefaultKnobs(wpu.SchemePredictive)},
+	}
+	all := []Knobs{base}
+	for _, v := range variants {
+		all = append(all, v.k)
+	}
+	if err := s.Prefetch(suiteJobs(all...)); err != nil {
+		return nil, err
 	}
 	var rows []AblationRow
 	for _, v := range variants {

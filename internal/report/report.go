@@ -4,12 +4,24 @@
 // FigureNN/TableNN function corresponds to one exhibit (see DESIGN.md's
 // experiment index) and returns structured data alongside its text
 // rendering so tests and the bench harness can assert on shapes.
+//
+// Concurrency: a Session is safe for concurrent use by multiple
+// goroutines. Run deduplicates identical in-flight simulations
+// singleflight-style — concurrent callers asking for the same
+// (benchmark, Knobs) point block on one simulation and share its Result.
+// The exhibit drivers exploit this through Prefetch (see runner.go),
+// which fans a figure's full job set out over a bounded worker pool and
+// then renders from the warm cache, so output bytes are identical at any
+// parallelism level. Only Verify is excluded from the guarantee: set it
+// before the first Run and leave it alone.
 package report
 
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
+	"sync"
 
 	"repro/internal/energy"
 	"repro/internal/engine"
@@ -30,7 +42,13 @@ type Result struct {
 }
 
 // Knobs are the architectural parameters the evaluation sweeps.
+//
+// Every field participates in the cache key (see key and
+// TestKnobKeyCoversAllFields): adding a field here automatically extends
+// the key, so distinct configurations can never alias in the run cache or
+// the on-disk store.
 type Knobs struct {
+	WPUs    int // 0 = the Table 3 default (4)
 	Width   int
 	Warps   int
 	Slots   int
@@ -40,6 +58,8 @@ type Knobs struct {
 	L2KB    int
 	L2Lat   int
 	Scheme  wpu.Scheme
+	Dist    sim.Distribution // thread-to-WPU mapping (default DistBlock)
+	Scale   int              // workload input-size multiplier (0 = 1)
 
 	// Ablation switches (see the Ablation driver).
 	NoWaitMerge  bool
@@ -50,14 +70,19 @@ type Knobs struct {
 // DefaultKnobs returns the Table 3 configuration under a given scheme.
 func DefaultKnobs(s wpu.Scheme) Knobs {
 	return Knobs{
-		Width: 16, Warps: 4, Slots: 0, WST: 16,
+		WPUs: 4, Width: 16, Warps: 4, Slots: 0, WST: 16,
 		L1KB: 32, L1Assoc: 8, L2KB: 4096, L2Lat: 30,
 		Scheme: s,
 	}
 }
 
-func (k Knobs) config() sim.Config {
+// Config expands the knobs into the full machine configuration they
+// denote (Table 3 defaults plus these overrides).
+func (k Knobs) Config() sim.Config {
 	cfg := sim.DefaultConfig()
+	if k.WPUs > 0 {
+		cfg.WPUs = k.WPUs
+	}
 	cfg.WPU.Width = k.Width
 	cfg.WPU.Warps = k.Warps
 	cfg.WPU.SchedSlots = k.Slots
@@ -66,6 +91,7 @@ func (k Knobs) config() sim.Config {
 	cfg.Hier.L1.Ways = k.L1Assoc
 	cfg.Hier.L2.SizeBytes = k.L2KB * 1024
 	cfg.Hier.L2.LookupLat = engine.Cycle(k.L2Lat)
+	cfg.Dist = k.Dist
 	cfg.WPU = k.Scheme.Apply(cfg.WPU)
 	cfg.WPU.DisableWaitMerge = k.NoWaitMerge
 	cfg.WPU.DisableProgSched = k.NoProgSched
@@ -73,37 +99,132 @@ func (k Knobs) config() sim.Config {
 	return cfg
 }
 
+// key derives the cache key from the benchmark name plus every Knobs
+// field. %#v prints all fields by name, so a newly added knob joins the
+// key without further code; TestKnobKeyCoversAllFields enforces that the
+// rendering actually distinguishes each field.
+func (k Knobs) key(bench string) string {
+	return fmt.Sprintf("%s|%#v", bench, k)
+}
+
+// CacheStats counts how Session.Run requests were satisfied.
+type CacheStats struct {
+	MemHits  uint64 // served from the in-memory cache (or joined in flight)
+	DiskHits uint64 // loaded from the on-disk store
+	Misses   uint64 // simulations actually executed
+}
+
 // Session caches runs so figures sharing configurations (every figure
-// reuses the Conv baseline) do not repeat simulations.
+// reuses the Conv baseline) do not repeat simulations. It is safe for
+// concurrent use; see the package comment.
 type Session struct {
-	cache map[string]Result
+	mu    sync.Mutex
+	cache map[string]*inflight
+	stats CacheStats
+
+	jobs  int    // worker-pool width for Prefetch (0 = GOMAXPROCS)
+	store *Store // optional cross-process result store
+
 	// Verify controls whether every run checks functional results against
-	// the host reference (on by default; the cost is negligible).
+	// the host reference (on by default; the cost is negligible). Set it
+	// before the first Run; it is not synchronised.
 	Verify bool
 }
 
+// inflight is one cache slot: done closes once r/err are final, so
+// concurrent requests for the same key join a single simulation.
+type inflight struct {
+	done chan struct{}
+	r    Result
+	err  error
+}
+
+// Option configures a Session.
+type Option func(*Session)
+
+// WithJobs bounds the Prefetch worker pool. n <= 0 means
+// runtime.GOMAXPROCS(0).
+func WithJobs(n int) Option { return func(s *Session) { s.jobs = n } }
+
+// WithStore attaches a persistent on-disk result store: Run consults it
+// before simulating and saves every fresh result into it.
+func WithStore(st *Store) Option { return func(s *Session) { s.store = st } }
+
 // NewSession returns an empty run cache.
-func NewSession() *Session {
-	return &Session{cache: make(map[string]Result), Verify: true}
+func NewSession(opts ...Option) *Session {
+	s := &Session{cache: make(map[string]*inflight), Verify: true}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
 }
 
-func (k Knobs) key(bench string) string {
-	return fmt.Sprintf("%s|%s|w%d×%d|sl%d|wst%d|l1:%d/%d|l2:%d/%d|ab:%v%v%d",
-		bench, k.Scheme, k.Width, k.Warps, k.Slots, k.WST, k.L1KB, k.L1Assoc, k.L2KB, k.L2Lat,
-		k.NoWaitMerge, k.NoProgSched, k.BranchThresh)
+// Jobs returns the effective worker-pool width.
+func (s *Session) Jobs() int {
+	if s.jobs > 0 {
+		return s.jobs
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
-// Run simulates one benchmark under the given knobs (cached).
+// Stats returns a snapshot of the cache counters.
+func (s *Session) Stats() CacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Run simulates one benchmark under the given knobs (cached, singleflight
+// deduplicated, safe for concurrent use). Errors are not memoized: a
+// failed run is evicted so a later call may retry, though concurrent
+// callers joined to the failing run all observe its error.
 func (s *Session) Run(bench string, k Knobs) (Result, error) {
 	key := k.key(bench)
-	if r, ok := s.cache[key]; ok {
-		return r, nil
+	s.mu.Lock()
+	if c, ok := s.cache[key]; ok {
+		s.stats.MemHits++
+		s.mu.Unlock()
+		<-c.done
+		return c.r, c.err
 	}
-	spec, err := workloads.ByName(bench)
+	c := &inflight{done: make(chan struct{})}
+	s.cache[key] = c
+	s.mu.Unlock()
+
+	c.r, c.err = s.simulate(bench, k, key)
+	close(c.done)
+	if c.err != nil {
+		s.mu.Lock()
+		delete(s.cache, key)
+		s.mu.Unlock()
+	}
+	return c.r, c.err
+}
+
+// simulate produces the Result for one key: from the disk store if
+// possible, else by running the simulator (and persisting the outcome).
+func (s *Session) simulate(bench string, k Knobs, key string) (Result, error) {
+	if s.store != nil {
+		if r, ok := s.store.Load(key); ok {
+			s.mu.Lock()
+			s.stats.DiskHits++
+			s.mu.Unlock()
+			return r, nil
+		}
+	}
+	s.mu.Lock()
+	s.stats.Misses++
+	s.mu.Unlock()
+
+	scale := k.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	spec, err := workloads.ByNameScaled(bench, scale)
 	if err != nil {
 		return Result{}, err
 	}
-	sys, err := sim.New(k.config())
+	sys, err := sim.New(k.Config())
 	if err != nil {
 		return Result{}, err
 	}
@@ -112,7 +233,7 @@ func (s *Session) Run(bench string, k Knobs) (Result, error) {
 		return Result{}, err
 	}
 	if err := inst.Run(sys); err != nil {
-		return Result{}, fmt.Errorf("%s %s: %w", bench, k.key(bench), err)
+		return Result{}, fmt.Errorf("%s %s: %w", bench, key, err)
 	}
 	if s.Verify {
 		if err := inst.Verify(); err != nil {
@@ -127,7 +248,9 @@ func (s *Session) Run(bench string, k Knobs) (Result, error) {
 		L1:     sys.L1Stats(),
 		Energy: energy.Estimate(sys),
 	}
-	s.cache[key] = r
+	if s.store != nil {
+		s.store.Save(key, r)
+	}
 	return r, nil
 }
 
@@ -160,9 +283,17 @@ func HarmonicMean(xs []float64) float64 {
 // Speedups runs every benchmark under base and alt and returns per-bench
 // speedups (base cycles / alt cycles) plus their harmonic mean.
 func (s *Session) Speedups(base, alt Knobs) (map[string]float64, float64, error) {
+	benches := BenchNames()
+	jobs := make([]Job, 0, 2*len(benches))
+	for _, b := range benches {
+		jobs = append(jobs, Job{b, base}, Job{b, alt})
+	}
+	if err := s.Prefetch(jobs); err != nil {
+		return nil, 0, err
+	}
 	per := make(map[string]float64)
 	var xs []float64
-	for _, b := range BenchNames() {
+	for _, b := range benches {
 		rb, err := s.Run(b, base)
 		if err != nil {
 			return nil, 0, err

@@ -38,7 +38,7 @@ func TestArithMean(t *testing.T) {
 
 func TestDefaultKnobsMatchTable3(t *testing.T) {
 	k := DefaultKnobs(wpu.SchemeConv)
-	if k.Width != 16 || k.Warps != 4 || k.L1KB != 32 || k.L1Assoc != 8 ||
+	if k.WPUs != 4 || k.Width != 16 || k.Warps != 4 || k.L1KB != 32 || k.L1Assoc != 8 ||
 		k.L2KB != 4096 || k.L2Lat != 30 || k.WST != 16 {
 		t.Fatalf("default knobs deviate from Table 3: %+v", k)
 	}

@@ -1,0 +1,123 @@
+package report
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+)
+
+// storeSchema versions the record layout; bump it whenever Result or the
+// key format changes incompatibly so stale records simply miss.
+const storeSchema = "dwsim-store-v1"
+
+// Store is a persistent, cross-process result cache: one JSON record per
+// simulated point, named by a digest of the cache key plus a version salt
+// (schema, Go version, and VCS state of the binary). Reads of records
+// written under a different salt miss; writes are atomic (temp file +
+// rename), so concurrent processes sharing a directory are safe.
+//
+// The salt cannot see uncommitted source edits when the binary carries no
+// VCS stamp (as with `go run` or test binaries): after changing simulator
+// behaviour, clear the directory or pass -nocache.
+type Store struct {
+	dir  string
+	salt string
+}
+
+// DefaultCacheDir returns the per-user cache location (~/.cache/dwsim on
+// Linux), falling back to the system temp directory.
+func DefaultCacheDir() string {
+	if d, err := os.UserCacheDir(); err == nil {
+		return filepath.Join(d, "dwsim")
+	}
+	return filepath.Join(os.TempDir(), "dwsim-cache")
+}
+
+// OpenStore opens (creating if needed) a result store rooted at dir;
+// dir == "" means DefaultCacheDir().
+func OpenStore(dir string) (*Store, error) {
+	if dir == "" {
+		dir = DefaultCacheDir()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("report: open store: %w", err)
+	}
+	return &Store{dir: dir, salt: versionSalt()}, nil
+}
+
+// versionSalt digests everything known about the program version so
+// records from a different build of the simulator are not reused.
+func versionSalt() string {
+	h := sha256.New()
+	fmt.Fprintln(h, storeSchema)
+	fmt.Fprintln(h, runtime.Version())
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		fmt.Fprintln(h, bi.Main.Version)
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision", "vcs.time", "vcs.modified":
+				fmt.Fprintf(h, "%s=%s\n", kv.Key, kv.Value)
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// record is the on-disk layout. Key and Salt are stored verbatim so Load
+// can reject digest collisions and cross-version reuse outright.
+type record struct {
+	Key    string `json:"key"`
+	Salt   string `json:"salt"`
+	Result Result `json:"result"`
+}
+
+func (st *Store) path(key string) string {
+	d := sha256.Sum256([]byte(st.salt + "\n" + key))
+	return filepath.Join(st.dir, hex.EncodeToString(d[:16])+".json")
+}
+
+// Load returns the stored Result for key, if a matching record exists.
+func (st *Store) Load(key string) (Result, bool) {
+	b, err := os.ReadFile(st.path(key))
+	if err != nil {
+		return Result{}, false
+	}
+	var rec record
+	if json.Unmarshal(b, &rec) != nil || rec.Key != key || rec.Salt != st.salt {
+		return Result{}, false
+	}
+	return rec.Result, true
+}
+
+// Save persists one result. Failures are reported but deliberately
+// non-fatal to callers like Session.simulate: a broken cache directory
+// must never fail a simulation that already succeeded.
+func (st *Store) Save(key string, r Result) error {
+	b, err := json.Marshal(record{Key: key, Salt: st.salt, Result: r})
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(st.dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), st.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
