@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race bench report
+.PHONY: ci fmt-check vet build test race bench report trace
 
 ci: fmt-check vet build race test
 
@@ -21,9 +21,10 @@ test:
 	$(GO) test ./...
 
 # The race run exercises concurrent Session use (singleflight, worker
-# pool, disk store) over the whole report package.
+# pool, disk store) plus the observability exports (golden/determinism
+# tests) over the report and obs packages.
 race:
-	$(GO) test -race ./internal/report/...
+	$(GO) test -race ./internal/report/... ./internal/obs/...
 
 # Baseline perf snapshot: the full exhibit set at -j 1 vs -j GOMAXPROCS
 # (see EXPERIMENTS.md for recorded numbers).
@@ -33,3 +34,10 @@ bench:
 # Regenerate the paper's exhibits with the parallel executor.
 report:
 	$(GO) run ./cmd/dwsreport
+
+# One instrumented run: Chrome trace (load trace.json in
+# https://ui.perfetto.dev), interval timeline CSV, and run-metrics JSON.
+BENCH ?= KMeans
+trace:
+	$(GO) run ./cmd/dwsim -bench $(BENCH) -scheme DWS.ReviveSplit \
+		-trace trace.json -timeline timeline.csv -stats stats.json

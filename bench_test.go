@@ -4,6 +4,7 @@ import (
 	"io"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/wpu"
 )
@@ -254,6 +255,39 @@ func runFullReport(s *report.Session) error {
 		}
 	}
 	return nil
+}
+
+// BenchmarkObsOverhead measures the cost of the internal/obs hooks on a
+// KMeans run (the heaviest single benchmark): "off" is the production
+// path (nil sink — every emission site reduces to one nil check), "on"
+// attaches a full event trace plus timeline sampler. The acceptance bar
+// is that "off" stays within 2% of the pre-instrumentation baseline
+// recorded in EXPERIMENTS.md; timing is asserted there, not here, because
+// wall-clock asserts in tests are flaky. Run as:
+//
+//	go test -bench ObsOverhead -benchtime 20x -run '^$' .
+func BenchmarkObsOverhead(b *testing.B) {
+	k := report.DefaultKnobs(wpu.SchemeRevive)
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := report.NewSession()
+			if _, err := s.Run("KMeans", k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		var events int
+		for i := 0; i < b.N; i++ {
+			s := report.NewSession()
+			tr := obs.New(1000)
+			if _, err := s.RunTraced("KMeans", k, tr); err != nil {
+				b.Fatal(err)
+			}
+			events = len(tr.Events)
+		}
+		b.ReportMetric(float64(events), "events")
+	})
 }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed (simulated

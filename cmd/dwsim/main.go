@@ -8,14 +8,22 @@
 //	dwsim -bench Merge -scheme DWS.ReviveSplit
 //	dwsim -bench FFT -scheme Conv -width 8 -warps 8 -l1kb 64
 //	dwsim -bench all -j 8 -nocache
+//	dwsim -bench KMeans -trace trace.json -timeline timeline.csv -stats stats.json
+//
+// -trace/-timeline attach the observability sink (single benchmark only)
+// and force a live simulation, bypassing the result caches; -stats writes
+// machine-readable run metrics for any run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/workloads"
@@ -42,6 +50,10 @@ func main() {
 		jobs      = flag.Int("j", 0, "max concurrent simulations with -bench all (0 = GOMAXPROCS)")
 		cacheDir  = flag.String("cachedir", "", "on-disk result store directory (default ~/.cache/dwsim)")
 		noCache   = flag.Bool("nocache", false, "disable the on-disk result store")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file ('-' = stdout; single benchmark only)")
+		tlOut     = flag.String("timeline", "", "write the interval timeline CSV to this file ('-' = stdout; single benchmark only)")
+		statsOut  = flag.String("stats", "", "write machine-readable run metrics JSON to this file ('-' = stdout)")
+		obsEvery  = flag.Uint64("obsevery", 1000, "timeline sample interval in cycles for -trace/-timeline")
 	)
 	flag.Parse()
 
@@ -90,22 +102,84 @@ func main() {
 	s := report.NewSession(opts...)
 	s.Verify = *verify
 
-	var grid []report.Job
-	for _, name := range names {
-		grid = append(grid, report.Job{Bench: name, Knobs: k})
-	}
-	if err := s.Prefetch(grid); err != nil {
-		fmt.Fprintln(os.Stderr, "dwsim:", err)
+	traced := *traceOut != "" || *tlOut != ""
+	if traced && len(names) != 1 {
+		fmt.Fprintln(os.Stderr, "dwsim: -trace/-timeline need a single benchmark, not -bench all")
 		os.Exit(1)
 	}
-	for _, name := range names {
-		r, err := s.Run(name, k)
+
+	var docs []report.RunDoc
+	if traced {
+		tr := obs.New(*obsEvery)
+		start := time.Now()
+		r, err := s.RunTraced(names[0], k, tr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dwsim:", err)
 			os.Exit(1)
 		}
-		printRun(name, k, r)
+		wall := time.Since(start).Seconds()
+		printRun(names[0], k, r)
+		if *traceOut != "" {
+			if err := writeTo(*traceOut, func(w io.Writer) error { return obs.WriteChromeTrace(w, tr) }); err != nil {
+				fmt.Fprintln(os.Stderr, "dwsim: write trace:", err)
+				os.Exit(1)
+			}
+		}
+		if *tlOut != "" {
+			if err := writeTo(*tlOut, func(w io.Writer) error { return report.TimelineCSV(w, tr) }); err != nil {
+				fmt.Fprintln(os.Stderr, "dwsim: write timeline:", err)
+				os.Exit(1)
+			}
+		}
+		docs = append(docs, report.NewRunDoc(r, k, "traced-live", wall))
+	} else {
+		// Prefetch only pays off with several points; for a single bench run
+		// it directly so the measured wall time is the simulation itself.
+		if len(names) > 1 {
+			var grid []report.Job
+			for _, name := range names {
+				grid = append(grid, report.Job{Bench: name, Knobs: k})
+			}
+			if err := s.Prefetch(grid); err != nil {
+				fmt.Fprintln(os.Stderr, "dwsim:", err)
+				os.Exit(1)
+			}
+		}
+		for _, name := range names {
+			start := time.Now()
+			r, err := s.Run(name, k)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dwsim:", err)
+				os.Exit(1)
+			}
+			printRun(name, k, r)
+			docs = append(docs, report.NewRunDoc(r, k, s.Provenance(name, k), time.Since(start).Seconds()))
+		}
 	}
+
+	if *statsOut != "" {
+		err := writeTo(*statsOut, func(w io.Writer) error { return report.WriteStatsDoc(w, docs, s.Stats()) })
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dwsim: write stats:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTo streams fn's output to path, with "-" meaning stdout.
+func writeTo(path string, fn func(io.Writer) error) error {
+	if path == "-" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func schemeList() string {

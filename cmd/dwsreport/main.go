@@ -13,12 +13,14 @@
 //	dwsreport -csv out/       # additionally write one CSV per exhibit
 //	dwsreport -j 8            # simulate up to 8 points concurrently
 //	dwsreport -nocache        # ignore the on-disk result store
+//	dwsreport -stats run.json # machine-readable per-exhibit timing/cache stats
 //
 // Exhibit text goes to stdout and is byte-identical across -j values and
 // cache states; per-exhibit timing and cache counters go to stderr.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +37,7 @@ func main() {
 		jobs     = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		cacheDir = flag.String("cachedir", "", "on-disk result store directory (default ~/.cache/dwsim)")
 		noCache  = flag.Bool("nocache", false, "disable the on-disk result store")
+		statsOut = flag.String("stats", "", "write per-exhibit timing and cache stats JSON to this file ('-' = stdout)")
 	)
 	flag.Parse()
 
@@ -176,6 +179,17 @@ func main() {
 			return csvOut(func(d string) error { return report.AblationCSV(d, rows) })
 		}, "Ablation (beyond paper)"},
 	}
+	// exhibitStat mirrors the stderr progress line as machine-readable JSON
+	// for -stats; Seconds is wall-clock and therefore volatile.
+	type exhibitStat struct {
+		ID      string  `json:"id"`
+		Title   string  `json:"title"`
+		Seconds float64 `json:"seconds"`
+		Sims    uint64  `json:"sims"`
+		Disk    uint64  `json:"disk_hits"`
+		Mem     uint64  `json:"mem_hits"`
+	}
+	var perExhibit []exhibitStat
 	allStart := time.Now()
 	for _, e := range exhibits {
 		if *only != "" && e.id != *only {
@@ -188,13 +202,45 @@ func main() {
 			os.Exit(1)
 		}
 		d := delta(before, s.Stats())
+		secs := time.Since(start).Seconds()
 		fmt.Fprintf(os.Stderr, "[%s in %.1fs: sims=%d disk-hits=%d mem-hits=%d]\n",
-			e.doc, time.Since(start).Seconds(), d.Misses, d.DiskHits, d.MemHits)
+			e.doc, secs, d.Misses, d.DiskHits, d.MemHits)
+		perExhibit = append(perExhibit, exhibitStat{
+			ID: e.id, Title: e.doc, Seconds: secs,
+			Sims: d.Misses, Disk: d.DiskHits, Mem: d.MemHits,
+		})
 		fmt.Fprintln(w)
 	}
 	t := s.Stats()
+	totalSecs := time.Since(allStart).Seconds()
 	fmt.Fprintf(os.Stderr, "[total %.1fs at -j %d: sims=%d disk-hits=%d mem-hits=%d]\n",
-		time.Since(allStart).Seconds(), s.Jobs(), t.Misses, t.DiskHits, t.MemHits)
+		totalSecs, s.Jobs(), t.Misses, t.DiskHits, t.MemHits)
+
+	if *statsOut != "" {
+		doc := struct {
+			Schema   string            `json:"schema"`
+			Jobs     int               `json:"jobs"`
+			Seconds  float64           `json:"seconds"`
+			Exhibits []exhibitStat     `json:"exhibits"`
+			Cache    report.CacheStats `json:"session_cache"`
+		}{"dwsreport-stats-v1", s.Jobs(), totalSecs, perExhibit, t}
+		out := os.Stdout
+		if *statsOut != "-" {
+			f, err := os.Create(*statsOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dwsreport:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintln(os.Stderr, "dwsreport:", err)
+			os.Exit(1)
+		}
+	}
 }
 
 func delta(before, after report.CacheStats) report.CacheStats {

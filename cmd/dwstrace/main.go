@@ -1,12 +1,17 @@
-// dwstrace runs a benchmark and prints a sampled timeline of every WPU's
+// dwstrace runs a benchmark and exports what happened inside the machine.
+// The default -format text prints a sampled timeline of every WPU's
 // scheduling state — which SIMD groups exist, their masks, PCs and states,
 // sync scopes and slip groups — the fastest way to see dynamic warp
-// subdivision working (or to debug a policy change).
+// subdivision working (or to debug a policy change). The structured
+// formats attach the internal/obs sink instead and write to stdout:
+// chrome (trace-event JSON for Perfetto / chrome://tracing), json (the raw
+// event list), and csv (the interval timeline).
 //
 // Usage:
 //
 //	dwstrace -bench KMeans -scheme DWS.ReviveSplit -every 5000
 //	dwstrace -bench Merge -scheme Slip.BranchBypass -from 10000 -until 12000 -every 100
+//	dwstrace -bench KMeans -format chrome -every 1000 > trace.json
 package main
 
 import (
@@ -14,6 +19,8 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/obs"
+	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 	"repro/internal/wpu"
@@ -24,11 +31,18 @@ func main() {
 		benchName = flag.String("bench", "KMeans", "benchmark to trace")
 		scheme    = flag.String("scheme", "DWS.ReviveSplit", "scheme")
 		every     = flag.Uint64("every", 5000, "sample interval in cycles")
-		from      = flag.Uint64("from", 0, "first cycle to sample")
-		until     = flag.Uint64("until", ^uint64(0), "last cycle to sample")
-		onlyWPU   = flag.Int("wpu", -1, "restrict the dump to one WPU (-1 = all)")
+		from      = flag.Uint64("from", 0, "first cycle to sample (text format)")
+		until     = flag.Uint64("until", ^uint64(0), "last cycle to sample (text format)")
+		onlyWPU   = flag.Int("wpu", -1, "restrict the text dump to one WPU (-1 = all)")
+		format    = flag.String("format", "text", "output format: text, chrome, json, or csv")
 	)
 	flag.Parse()
+
+	switch *format {
+	case "text", "chrome", "json", "csv":
+	default:
+		fail(fmt.Errorf("unknown -format %q (want text, chrome, json, or csv)", *format))
+	}
 
 	spec, err := workloads.ByName(*benchName)
 	if err != nil {
@@ -36,6 +50,11 @@ func main() {
 	}
 	cfg := sim.DefaultConfig()
 	cfg.WPU = wpu.Scheme(*scheme).Apply(cfg.WPU)
+	var tr *obs.Trace
+	if *format != "text" {
+		tr = obs.New(*every)
+		cfg.Trace = tr
+	}
 	sys, err := sim.New(cfg)
 	if err != nil {
 		fail(err)
@@ -45,16 +64,18 @@ func main() {
 		fail(err)
 	}
 
-	sys.Tracer = func(cycle uint64) {
-		if cycle < *from || cycle > *until || *every == 0 || cycle%*every != 0 {
-			return
-		}
-		fmt.Printf("=== cycle %d ===\n", cycle)
-		for i, w := range sys.WPUs {
-			if *onlyWPU >= 0 && i != *onlyWPU {
-				continue
+	if *format == "text" {
+		sys.Tracer = func(cycle uint64) {
+			if cycle < *from || cycle > *until || *every == 0 || cycle%*every != 0 {
+				return
 			}
-			fmt.Print(w.DebugDump())
+			fmt.Printf("=== cycle %d ===\n", cycle)
+			for i, w := range sys.WPUs {
+				if *onlyWPU >= 0 && i != *onlyWPU {
+					continue
+				}
+				fmt.Print(w.DebugDump())
+			}
 		}
 	}
 
@@ -64,12 +85,28 @@ func main() {
 	if err := inst.Verify(); err != nil {
 		fail(err)
 	}
-	st := sys.TotalStats()
-	fmt.Printf("=== done: %d cycles, %d subdivisions (%d branch, %d mem, %d revivals), "+
-		"%d PC merges, %d wait merges, %d scope merges ===\n",
-		sys.Cycles(), st.BranchSubdivisions+st.MemSubdivisions,
-		st.BranchSubdivisions, st.MemSubdivisions, st.Revivals,
-		st.PCMerges, st.WaitMerges, st.ScopeMerges)
+
+	switch *format {
+	case "chrome":
+		if err := obs.WriteChromeTrace(os.Stdout, tr); err != nil {
+			fail(err)
+		}
+	case "json":
+		if err := obs.WriteEventsJSON(os.Stdout, tr); err != nil {
+			fail(err)
+		}
+	case "csv":
+		if err := report.TimelineCSV(os.Stdout, tr); err != nil {
+			fail(err)
+		}
+	case "text":
+		st := sys.TotalStats()
+		fmt.Printf("=== done: %d cycles, %d subdivisions (%d branch, %d mem, %d revivals), "+
+			"%d PC merges, %d wait merges, %d scope merges ===\n",
+			sys.Cycles(), st.BranchSubdivisions+st.MemSubdivisions,
+			st.BranchSubdivisions, st.MemSubdivisions, st.Revivals,
+			st.PCMerges, st.WaitMerges, st.ScopeMerges)
+	}
 }
 
 func fail(err error) {

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +30,7 @@ func main() {
 		jobs     = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		cacheDir = flag.String("cachedir", "", "on-disk result store directory (default ~/.cache/dwsim)")
 		noCache  = flag.Bool("nocache", false, "disable the on-disk result store")
+		statsOut = flag.String("stats", "", "write the sweep rows and cache stats as JSON to this file ('-' = stdout)")
 	)
 	flag.Parse()
 
@@ -102,6 +104,15 @@ func main() {
 		os.Exit(1)
 	}
 
+	// sweepRow is the machine-readable form of one printed line.
+	type sweepRow struct {
+		Value      int     `json:"value"`
+		BaseCycles float64 `json:"base_cycles"`
+		AltCycles  float64 `json:"alt_cycles,omitempty"`
+		Speedup    float64 `json:"speedup,omitempty"`
+	}
+	var rows []sweepRow
+
 	fmt.Printf("%-10s  %-12s", *param, *scheme+" cyc")
 	if *alt != "" {
 		fmt.Printf("  %-12s  %s", *alt+" cyc", "speedup")
@@ -130,11 +141,43 @@ func main() {
 				speedups = append(speedups, float64(rb.Cycles)/float64(ra.Cycles))
 			}
 		}
-		fmt.Printf("%-10d  %-12.0f", v, mean(baseCycles))
+		row := sweepRow{Value: v, BaseCycles: mean(baseCycles)}
+		fmt.Printf("%-10d  %-12.0f", v, row.BaseCycles)
 		if *alt != "" {
-			fmt.Printf("  %-12.0f  %.3f", mean(altCycles), report.HarmonicMean(speedups))
+			row.AltCycles = mean(altCycles)
+			row.Speedup = report.HarmonicMean(speedups)
+			fmt.Printf("  %-12.0f  %.3f", row.AltCycles, row.Speedup)
 		}
 		fmt.Println()
+		rows = append(rows, row)
+	}
+
+	if *statsOut != "" {
+		doc := struct {
+			Schema string            `json:"schema"`
+			Param  string            `json:"param"`
+			Bench  string            `json:"bench"`
+			Base   string            `json:"base_scheme"`
+			Alt    string            `json:"alt_scheme,omitempty"`
+			Rows   []sweepRow        `json:"rows"`
+			Cache  report.CacheStats `json:"session_cache"`
+		}{"dwsweep-stats-v1", *param, *bench, *scheme, *alt, rows, s.Stats()}
+		out := os.Stdout
+		if *statsOut != "-" {
+			f, err := os.Create(*statsOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dwsweep:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintln(os.Stderr, "dwsweep:", err)
+			os.Exit(1)
+		}
 	}
 }
 

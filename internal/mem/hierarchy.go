@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // HierarchyConfig assembles the full memory system of Table 3: per-WPU
@@ -19,6 +20,9 @@ type HierarchyConfig struct {
 	// MemBusOcc models the 16 GB/s memory bus (≈8 cycles per line).
 	MemBusOcc engine.Cycle
 	DRAMLat   engine.Cycle
+	// Trace is the per-System observability sink handed to every cache;
+	// nil (the default) disables event emission entirely.
+	Trace *obs.Trace
 }
 
 // Hierarchy is the assembled memory system shared by all WPUs.
@@ -39,9 +43,9 @@ func NewHierarchy(q *engine.Queue, numL1 int, cfg HierarchyConfig) *Hierarchy {
 		Bus:  NewChannel(q, 0, cfg.MemBusOcc),
 	}
 	h.DRAM = NewDRAM(q, h.Bus, cfg.DRAMLat)
-	h.L2 = NewL2(q, cfg.L2, h.DRAM)
+	h.L2 = NewL2(q, cfg.L2, h.DRAM, cfg.Trace)
 	for i := 0; i < numL1; i++ {
-		h.L1s = append(h.L1s, NewL1(i, q, cfg.L1, h.Xbar, h.L2))
+		h.L1s = append(h.L1s, NewL1(i, q, cfg.L1, h.Xbar, h.L2, cfg.Trace))
 	}
 	return h
 }

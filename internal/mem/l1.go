@@ -1,6 +1,9 @@
 package mem
 
-import "repro/internal/engine"
+import (
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
 
 // L1Config sizes a private data cache (Table 3 defaults are in sim).
 type L1Config struct {
@@ -14,18 +17,20 @@ type L1Config struct {
 
 // L1Stats counts events observed by one L1 cache.
 type L1Stats struct {
-	Accesses     uint64
-	Hits         uint64
-	Misses       uint64 // primary misses (MSHR allocations)
-	Merges       uint64 // secondary misses coalesced into an existing MSHR
-	Upgrades     uint64 // stores that hit Shared and needed exclusivity
-	Writebacks   uint64 // dirty evictions to L2
-	Evictions    uint64
-	Invalidates  uint64 // lines invalidated by directory probes
-	Downgrades   uint64 // M/E lines downgraded to S by directory probes
-	BankQueuing  uint64 // cycles spent waiting on busy banks
-	MSHRStalls   uint64 // requests that waited because all MSHRs were busy
-	ReadAccesses uint64
+	Accesses      uint64
+	Hits          uint64
+	Misses        uint64 // primary misses (MSHR allocations)
+	Merges        uint64 // secondary misses coalesced into an existing MSHR
+	Upgrades      uint64 // stores that hit Shared and needed exclusivity
+	Writebacks    uint64 // dirty evictions to L2
+	Evictions     uint64
+	Invalidates   uint64 // lines invalidated by directory probes
+	Downgrades    uint64 // M/E lines downgraded to S by directory probes
+	BankQueuing   uint64 // cycles spent waiting on busy banks
+	BankConflicts uint64 // accesses that queued behind a busy bank
+	MSHRStalls    uint64 // requests that waited because all MSHRs were busy
+	MSHRPeak      uint64 // high-water mark of simultaneously busy MSHRs
+	ReadAccesses  uint64
 }
 
 type l1Done struct {
@@ -65,11 +70,14 @@ type L1 struct {
 	waiting  []l1Waiter // overflow when all MSHRs are busy
 	bankFree []engine.Cycle
 
+	trace *obs.Trace // per-System observability sink (nil = disabled)
+
 	Stats L1Stats
 }
 
 // NewL1 builds an L1 connected to the shared L2 through the crossbar.
-func NewL1(id int, q *engine.Queue, cfg L1Config, xbar *Channel, l2 *L2) *L1 {
+// trace is the per-System observability sink; nil disables event emission.
+func NewL1(id int, q *engine.Queue, cfg L1Config, xbar *Channel, l2 *L2, trace *obs.Trace) *L1 {
 	if cfg.Banks <= 0 {
 		cfg.Banks = 1
 	}
@@ -85,6 +93,7 @@ func NewL1(id int, q *engine.Queue, cfg L1Config, xbar *Channel, l2 *L2) *L1 {
 		l2:       l2,
 		mshrs:    make(map[uint64]*l1MSHR),
 		bankFree: make([]engine.Cycle, cfg.Banks),
+		trace:    trace,
 	}
 	l2.attach(c)
 	return c
@@ -143,6 +152,7 @@ func (c *L1) scheduleHit(lineAddr uint64, done func()) {
 	start := c.q.Now()
 	if c.bankFree[bank] > start {
 		c.Stats.BankQueuing += uint64(c.bankFree[bank] - start)
+		c.Stats.BankConflicts++
 		start = c.bankFree[bank]
 	}
 	c.bankFree[bank] = start + 1 // banks accept one access per cycle
@@ -152,6 +162,10 @@ func (c *L1) scheduleHit(lineAddr uint64, done func()) {
 func (c *L1) missPath(lineAddr uint64, write bool, done func()) {
 	if len(c.mshrs) >= c.cfg.MSHRs {
 		c.Stats.MSHRStalls++
+		if c.trace != nil {
+			c.trace.Emit(obs.Event{Cycle: uint64(c.q.Now()), Kind: obs.EvL1MSHRFull,
+				Unit: c.ID, Warp: -1, PC: -1, Addr: lineAddr})
+		}
 		c.waiting = append(c.waiting, l1Waiter{lineAddr: lineAddr, write: write, done: done})
 		return
 	}
@@ -160,11 +174,18 @@ func (c *L1) missPath(lineAddr uint64, write bool, done func()) {
 
 func (c *L1) allocMSHR(lineAddr uint64, write bool, done func()) {
 	c.Stats.Misses++
+	if c.trace != nil {
+		c.trace.Emit(obs.Event{Cycle: uint64(c.q.Now()), Kind: obs.EvL1Miss,
+			Unit: c.ID, Warp: -1, PC: -1, Addr: lineAddr})
+	}
 	m := &l1MSHR{lineAddr: lineAddr, write: write}
 	if done != nil {
 		m.dones = append(m.dones, l1Done{fn: done, write: write})
 	}
 	c.mshrs[lineAddr] = m
+	if n := uint64(len(c.mshrs)); n > c.Stats.MSHRPeak {
+		c.Stats.MSHRPeak = n
+	}
 	c.dispatch(m, write)
 }
 

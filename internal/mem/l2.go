@@ -1,6 +1,9 @@
 package mem
 
-import "repro/internal/engine"
+import (
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
 
 // L2Config sizes the shared last-level cache.
 type L2Config struct {
@@ -27,6 +30,12 @@ type L2Stats struct {
 	Evictions   uint64
 	Writebacks  uint64 // dirty evictions to memory
 	InclInvals  uint64 // inclusive-eviction invalidations of L1 copies
+	MSHRPeak    uint64 // high-water mark of simultaneously busy MSHRs
+	// MSHRFull counts misses that queued behind an unrelated in-flight
+	// fetch because every MSHR was busy (the L2 is un-banked, so this is
+	// its only structural-conflict source; bank conflicts are an L1Stats
+	// counter).
+	MSHRFull uint64
 }
 
 // l2Req is one L1 request queued at the directory. reply is invoked
@@ -56,11 +65,14 @@ type L2 struct {
 
 	mshrs map[uint64]*l2MSHR
 
+	trace *obs.Trace // per-System observability sink (nil = disabled)
+
 	Stats L2Stats
 }
 
-// NewL2 builds the shared cache in front of dram.
-func NewL2(q *engine.Queue, cfg L2Config, dram *DRAM) *L2 {
+// NewL2 builds the shared cache in front of dram. trace is the per-System
+// observability sink; nil disables event emission.
+func NewL2(q *engine.Queue, cfg L2Config, dram *DRAM, trace *obs.Trace) *L2 {
 	if cfg.MSHRs <= 0 {
 		cfg.MSHRs = 1
 	}
@@ -70,6 +82,7 @@ func NewL2(q *engine.Queue, cfg L2Config, dram *DRAM) *L2 {
 		cfg:   cfg,
 		dram:  dram,
 		mshrs: make(map[uint64]*l2MSHR),
+		trace: trace,
 	}
 }
 
@@ -161,10 +174,15 @@ func (l *L2) missPath(lineAddr uint64, r l2Req) {
 		return
 	}
 	l.Stats.Misses++
+	if l.trace != nil {
+		l.trace.Emit(obs.Event{Cycle: uint64(l.q.Now()), Kind: obs.EvL2Miss,
+			Unit: r.from, Warp: -1, PC: -1, Addr: lineAddr})
+	}
 	// The L2 has 256 MSHRs (Table 3); at simulated scale the bound is never
 	// the limiter, but respect it anyway by queuing behind an arbitrary
 	// existing MSHR when full (bounded structures should stay bounded).
 	if len(l.mshrs) >= l.cfg.MSHRs {
+		l.Stats.MSHRFull++
 		for _, m := range l.mshrs {
 			m.reqs = append(m.reqs, r)
 			return
@@ -172,6 +190,13 @@ func (l *L2) missPath(lineAddr uint64, r l2Req) {
 	}
 	m := &l2MSHR{lineAddr: lineAddr, reqs: []l2Req{r}}
 	l.mshrs[lineAddr] = m
+	if n := uint64(len(l.mshrs)); n > l.Stats.MSHRPeak {
+		l.Stats.MSHRPeak = n
+	}
+	if l.trace != nil {
+		l.trace.Emit(obs.Event{Cycle: uint64(l.q.Now()), Kind: obs.EvDRAMFetch,
+			Unit: -1, Warp: -1, PC: -1, Addr: lineAddr})
+	}
 	l.dram.Fetch(func() { l.fill(m) })
 }
 
@@ -214,6 +239,10 @@ func (l *L2) evict(w *way) {
 	}
 	if w.dirty {
 		l.Stats.Writebacks++
+		if l.trace != nil {
+			l.trace.Emit(obs.Event{Cycle: uint64(l.q.Now()), Kind: obs.EvDRAMWriteback,
+				Unit: -1, Warp: -1, PC: -1, Addr: w.lineAddr})
+		}
 		l.dram.Writeback()
 	}
 	w.valid = false
@@ -221,6 +250,10 @@ func (l *L2) evict(w *way) {
 	w.owner = -1
 	w.dirty = false
 }
+
+// OutstandingMisses reports the number of busy MSHRs (the timeline
+// sampler reads this as the L2 MSHR occupancy).
+func (l *L2) OutstandingMisses() int { return len(l.mshrs) }
 
 // put records an L1 eviction (clean or dirty) so the directory stays
 // precise. Dirty data merges into the L2 copy.

@@ -1,0 +1,45 @@
+package mem
+
+// Aggregation across caches. Counter fields sum; high-water marks take the
+// max (a peak across units is the largest per-unit peak, matching how
+// wpu.Stats aggregates PeakSplits). TestL1StatsAddCoversAllFields and
+// TestL2StatsAddCoversAllFields enforce by reflection that every field —
+// including ones added later — participates, so a new counter can never be
+// silently dropped from the machine totals.
+
+// Add accumulates o into s.
+func (s *L1Stats) Add(o L1Stats) {
+	s.Accesses += o.Accesses
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Merges += o.Merges
+	s.Upgrades += o.Upgrades
+	s.Writebacks += o.Writebacks
+	s.Evictions += o.Evictions
+	s.Invalidates += o.Invalidates
+	s.Downgrades += o.Downgrades
+	s.BankQueuing += o.BankQueuing
+	s.BankConflicts += o.BankConflicts
+	s.MSHRStalls += o.MSHRStalls
+	if o.MSHRPeak > s.MSHRPeak {
+		s.MSHRPeak = o.MSHRPeak
+	}
+	s.ReadAccesses += o.ReadAccesses
+}
+
+// Add accumulates o into s.
+func (s *L2Stats) Add(o L2Stats) {
+	s.Requests += o.Requests
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Merges += o.Merges
+	s.ProbeInvals += o.ProbeInvals
+	s.ProbeDowngr += o.ProbeDowngr
+	s.Evictions += o.Evictions
+	s.Writebacks += o.Writebacks
+	s.InclInvals += o.InclInvals
+	if o.MSHRPeak > s.MSHRPeak {
+		s.MSHRPeak = o.MSHRPeak
+	}
+	s.MSHRFull += o.MSHRFull
+}

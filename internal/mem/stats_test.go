@@ -1,0 +1,104 @@
+package mem
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// statsAddCoversAllFields sets each field of the stats struct in turn to a
+// distinct non-zero value and requires Add to propagate it into a zero
+// aggregate. This guards sum fields and max fields alike (max over a zero
+// aggregate is the value itself), so adding a counter without extending
+// Add fails here — the analogue of report's TestKnobKeyCoversAllFields.
+func statsAddCoversAllFields(t *testing.T, zero func() reflect.Value, add func(agg, o reflect.Value)) {
+	t.Helper()
+	typ := zero().Elem().Type()
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		if f.Type.Kind() != reflect.Uint64 {
+			t.Fatalf("field %s has kind %s; stats aggregation only handles uint64 counters", f.Name, f.Type.Kind())
+		}
+		o := zero()
+		o.Elem().Field(i).SetUint(7)
+		agg := zero()
+		add(agg, o)
+		if got := agg.Elem().Field(i).Uint(); got != 7 {
+			t.Errorf("Add dropped field %s: aggregate has %d, want 7", f.Name, got)
+		}
+	}
+}
+
+func TestL1StatsAddCoversAllFields(t *testing.T) {
+	statsAddCoversAllFields(t,
+		func() reflect.Value { return reflect.ValueOf(&L1Stats{}) },
+		func(agg, o reflect.Value) {
+			agg.Interface().(*L1Stats).Add(*o.Interface().(*L1Stats))
+		})
+}
+
+func TestL2StatsAddCoversAllFields(t *testing.T) {
+	statsAddCoversAllFields(t,
+		func() reflect.Value { return reflect.ValueOf(&L2Stats{}) },
+		func(agg, o reflect.Value) {
+			agg.Interface().(*L2Stats).Add(*o.Interface().(*L2Stats))
+		})
+}
+
+func TestStatsAddPeakTakesMax(t *testing.T) {
+	a := L1Stats{MSHRPeak: 9}
+	a.Add(L1Stats{MSHRPeak: 4})
+	if a.MSHRPeak != 9 {
+		t.Errorf("L1 MSHRPeak = %d after adding a smaller peak, want 9", a.MSHRPeak)
+	}
+	b := L2Stats{MSHRPeak: 3}
+	b.Add(L2Stats{MSHRPeak: 5})
+	if b.MSHRPeak != 5 {
+		t.Errorf("L2 MSHRPeak = %d, want 5", b.MSHRPeak)
+	}
+}
+
+// TestMSHRPeakAndBankConflicts drives a tiny hierarchy to check the new
+// occupancy counters: two concurrent misses to distinct lines raise the
+// MSHR high-water mark to 2, and two same-cycle hits to lines in the same
+// bank record one bank conflict.
+func TestMSHRPeakAndBankConflicts(t *testing.T) {
+	q := &engine.Queue{}
+	h := NewHierarchy(q, 1, HierarchyConfig{
+		L1:      L1Config{SizeBytes: 4096, Ways: 2, LineSize: 128, HitLat: 3, Banks: 4, MSHRs: 8},
+		L2:      L2Config{SizeBytes: 64 * 1024, Ways: 8, LineSize: 128, LookupLat: 10, ProbeLat: 4, MSHRs: 16},
+		XbarLat: 2, XbarOcc: 1, MemBusOcc: 4, DRAMLat: 50,
+	})
+	l1 := h.L1s[0]
+
+	done := 0
+	l1.Access(0, false, func() { done++ })
+	l1.Access(128, false, func() { done++ })
+	if got := l1.OutstandingMisses(); got != 2 {
+		t.Fatalf("outstanding misses = %d, want 2", got)
+	}
+	q.Drain()
+	if done != 2 {
+		t.Fatalf("completions = %d, want 2", done)
+	}
+	if l1.Stats.MSHRPeak != 2 {
+		t.Errorf("L1 MSHRPeak = %d, want 2", l1.Stats.MSHRPeak)
+	}
+	if h.L2.Stats.MSHRPeak == 0 {
+		t.Errorf("L2 MSHRPeak = 0, want > 0 after two L2 misses")
+	}
+
+	// Both lines are now resident. Line addresses 0 and 4*128 map to bank 0
+	// (bank = line/LineSize mod Banks): a second same-cycle access to the
+	// bank must queue.
+	l1.Access(512, false, func() { done++ }) // install line in bank 0
+	q.Drain()
+	before := l1.Stats.BankConflicts
+	l1.Access(0, false, func() { done++ })
+	l1.Access(512, false, func() { done++ })
+	if l1.Stats.BankConflicts != before+1 {
+		t.Errorf("BankConflicts = %d, want %d", l1.Stats.BankConflicts, before+1)
+	}
+	q.Drain()
+}

@@ -3,14 +3,31 @@ package report
 import (
 	"encoding/csv"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
+
+	"repro/internal/obs"
 )
 
 // CSV export: every exhibit's structured data can be written as a CSV file
 // for plotting (cmd/dwsreport -csv <dir>). One file per exhibit, one row
 // per data point, benchmark columns where applicable.
+
+// csvTo streams one header + rows table to any writer; writeCSV wraps it
+// for the one-file-per-exhibit layout.
+func csvTo(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
 
 func writeCSV(dir, name string, header []string, rows [][]string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -21,18 +38,47 @@ func writeCSV(dir, name string, header []string, rows [][]string) error {
 		return err
 	}
 	defer f.Close()
-	w := csv.NewWriter(f)
-	if err := w.Write(header); err != nil {
-		return err
-	}
-	if err := w.WriteAll(rows); err != nil {
-		return err
-	}
-	w.Flush()
-	return w.Error()
+	return csvTo(f, header, rows)
 }
 
 func fs(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// TimelineCSV renders the interval timeline samples collected in tr as a
+// CSV: one row per (sample cycle, WPU), with the interval's cycle
+// accounting expressed as fractions so rows are comparable across
+// interval lengths. Rows appear in collection order, which is
+// deterministic (ascending cycle, then WPU id).
+func TimelineCSV(w io.Writer, tr *obs.Trace) error {
+	header := []string{
+		"cycle", "wpu", "busy_frac", "memstall_frac", "otherstall_frac",
+		"mean_simd_width", "wst_occupancy", "resident_splits",
+		"slot_waiters", "l1_mshr", "l2_mshr",
+	}
+	frac := func(part, whole uint64) float64 {
+		if whole == 0 {
+			return 0
+		}
+		return float64(part) / float64(whole)
+	}
+	var rows [][]string
+	for _, s := range tr.Samples {
+		total := s.Busy + s.StallMem + s.StallOther
+		rows = append(rows, []string{
+			strconv.FormatUint(s.Cycle, 10),
+			strconv.Itoa(s.WPU),
+			fs(frac(s.Busy, total)),
+			fs(frac(s.StallMem, total)),
+			fs(frac(s.StallOther, total)),
+			fs(s.MeanWidth()),
+			strconv.Itoa(s.WSTOcc),
+			strconv.Itoa(s.Resident),
+			strconv.Itoa(s.SlotWaiters),
+			strconv.Itoa(s.L1MSHR),
+			strconv.Itoa(s.L2MSHR),
+		})
+	}
+	return csvTo(w, header, rows)
+}
 
 // Table1CSV writes the divergence characterisation.
 func Table1CSV(dir string, rows []Table1Row) error {

@@ -26,6 +26,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/engine"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 	"repro/internal/wpu"
@@ -38,7 +39,13 @@ type Result struct {
 	Cycles uint64
 	Stats  wpu.Stats
 	L1     mem.L1Stats
-	Energy energy.Breakdown
+	L2     mem.L2Stats
+	// Interconnect and memory traffic behind the caches, for the
+	// machine-readable run document (rundoc.go).
+	XbarTransfers  uint64
+	DRAMAccesses   uint64
+	DRAMWritebacks uint64
+	Energy         energy.Breakdown
 }
 
 // Knobs are the architectural parameters the evaluation sweeps.
@@ -109,9 +116,10 @@ func (k Knobs) key(bench string) string {
 
 // CacheStats counts how Session.Run requests were satisfied.
 type CacheStats struct {
-	MemHits  uint64 // served from the in-memory cache (or joined in flight)
-	DiskHits uint64 // loaded from the on-disk store
-	Misses   uint64 // simulations actually executed
+	MemHits  uint64 `json:"mem_hits"`  // served from the in-memory cache (or joined in flight)
+	DiskHits uint64 `json:"disk_hits"` // loaded from the on-disk store
+	Misses   uint64 `json:"misses"`    // simulations actually executed
+	Traced   uint64 `json:"traced"`    // of the misses, runs forced live by an attached trace
 }
 
 // Session caches runs so figures sharing configurations (every figure
@@ -134,9 +142,10 @@ type Session struct {
 // inflight is one cache slot: done closes once r/err are final, so
 // concurrent requests for the same key join a single simulation.
 type inflight struct {
-	done chan struct{}
-	r    Result
-	err  error
+	done   chan struct{}
+	r      Result
+	err    error
+	source string // provenance: "simulated", "disk-store", or "traced-live"
 }
 
 // Option configures a Session.
@@ -191,7 +200,7 @@ func (s *Session) Run(bench string, k Knobs) (Result, error) {
 	s.cache[key] = c
 	s.mu.Unlock()
 
-	c.r, c.err = s.simulate(bench, k, key)
+	c.r, c.source, c.err = s.simulate(bench, k, key)
 	close(c.done)
 	if c.err != nil {
 		s.mu.Lock()
@@ -201,21 +210,83 @@ func (s *Session) Run(bench string, k Knobs) (Result, error) {
 	return c.r, c.err
 }
 
+// RunTraced simulates one benchmark with the observability sink tr
+// attached. It bypasses the read side of both the in-memory cache and the
+// on-disk store: a cache hit would skip the simulation entirely and hand
+// back a Result with tr still empty, which is exactly the silent failure
+// the caller asked to avoid by attaching a sink. The fresh Result is
+// still written through to both caches, so later untraced requests for
+// the same point are free. RunTraced is not singleflight-deduplicated —
+// tracing the same point twice runs twice, each call filling its own
+// sink.
+func (s *Session) RunTraced(bench string, k Knobs, tr *obs.Trace) (Result, error) {
+	s.mu.Lock()
+	s.stats.Misses++
+	s.stats.Traced++
+	s.mu.Unlock()
+	r, err := runLive(bench, k, tr, s.Verify)
+	if err != nil {
+		return Result{}, err
+	}
+	key := k.key(bench)
+	s.mu.Lock()
+	if _, ok := s.cache[key]; !ok {
+		c := &inflight{done: make(chan struct{}), r: r, source: "traced-live"}
+		close(c.done)
+		s.cache[key] = c
+	}
+	s.mu.Unlock()
+	if s.store != nil {
+		s.store.Save(key, r)
+	}
+	return r, nil
+}
+
+// Provenance reports how this session obtained the result for (bench, k):
+// "simulated", "disk-store", or "traced-live" — or "" when the point has
+// not been run. It blocks if the run is still in flight.
+func (s *Session) Provenance(bench string, k Knobs) string {
+	s.mu.Lock()
+	c, ok := s.cache[k.key(bench)]
+	s.mu.Unlock()
+	if !ok {
+		return ""
+	}
+	<-c.done
+	return c.source
+}
+
 // simulate produces the Result for one key: from the disk store if
 // possible, else by running the simulator (and persisting the outcome).
-func (s *Session) simulate(bench string, k Knobs, key string) (Result, error) {
+// The second return is the provenance string recorded on the cache slot.
+func (s *Session) simulate(bench string, k Knobs, key string) (Result, string, error) {
 	if s.store != nil {
 		if r, ok := s.store.Load(key); ok {
 			s.mu.Lock()
 			s.stats.DiskHits++
 			s.mu.Unlock()
-			return r, nil
+			return r, "disk-store", nil
 		}
 	}
 	s.mu.Lock()
 	s.stats.Misses++
 	s.mu.Unlock()
 
+	r, err := runLive(bench, k, nil, s.Verify)
+	if err != nil {
+		return Result{}, "", err
+	}
+	if s.store != nil {
+		s.store.Save(key, r)
+	}
+	return r, "simulated", nil
+}
+
+// runLive executes one simulation from scratch. tr, when non-nil, is
+// attached to every component of the machine before the run (sim.Config
+// .Trace), so the returned Result is accompanied by a filled event trace
+// and timeline.
+func runLive(bench string, k Knobs, tr *obs.Trace, verify bool) (Result, error) {
 	scale := k.Scale
 	if scale <= 0 {
 		scale = 1
@@ -224,7 +295,9 @@ func (s *Session) simulate(bench string, k Knobs, key string) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	sys, err := sim.New(k.Config())
+	cfg := k.Config()
+	cfg.Trace = tr
+	sys, err := sim.New(cfg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -233,25 +306,25 @@ func (s *Session) simulate(bench string, k Knobs, key string) (Result, error) {
 		return Result{}, err
 	}
 	if err := inst.Run(sys); err != nil {
-		return Result{}, fmt.Errorf("%s %s: %w", bench, key, err)
+		return Result{}, fmt.Errorf("%s %s: %w", bench, k.key(bench), err)
 	}
-	if s.Verify {
+	if verify {
 		if err := inst.Verify(); err != nil {
 			return Result{}, fmt.Errorf("%s under %s: %w", bench, k.Scheme, err)
 		}
 	}
-	r := Result{
-		Bench:  bench,
-		Scheme: k.Scheme,
-		Cycles: sys.Cycles(),
-		Stats:  sys.TotalStats(),
-		L1:     sys.L1Stats(),
-		Energy: energy.Estimate(sys),
-	}
-	if s.store != nil {
-		s.store.Save(key, r)
-	}
-	return r, nil
+	return Result{
+		Bench:          bench,
+		Scheme:         k.Scheme,
+		Cycles:         sys.Cycles(),
+		Stats:          sys.TotalStats(),
+		L1:             sys.L1Stats(),
+		L2:             sys.L2Stats(),
+		XbarTransfers:  sys.Hier.Xbar.Transfers(),
+		DRAMAccesses:   sys.Hier.DRAM.Accesses,
+		DRAMWritebacks: sys.Hier.DRAM.WritebackN,
+		Energy:         energy.Estimate(sys),
+	}, nil
 }
 
 // BenchNames lists the suite in presentation order.

@@ -1,0 +1,117 @@
+package report
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/energy"
+	"repro/internal/mem"
+	"repro/internal/wpu"
+)
+
+// Machine-readable run metrics: dwsim -stats writes a StatsDoc (one RunDoc
+// per benchmark run) so downstream tooling can consume every counter the
+// simulator keeps without scraping the text tables. The documents are
+// plain JSON of exported structs; Go's encoder emits struct fields in
+// declaration order, so the bytes are deterministic for identical runs
+// once the volatile WallSeconds field is excluded.
+
+// Schema identifiers; bump on incompatible layout changes so consumers
+// can dispatch (mirrors storeSchema for the on-disk result cache).
+const (
+	RunDocSchema   = "dwsim-run-v1"
+	StatsDocSchema = "dwsim-stats-v1"
+)
+
+// RunDerived holds the headline ratios the paper quotes (§5.5), precomputed
+// so consumers need no knowledge of the raw counter semantics.
+type RunDerived struct {
+	MeanSIMDWidth float64 `json:"mean_simd_width"`
+	MemStallFrac  float64 `json:"mem_stall_fraction"`
+	L1MissRate    float64 `json:"l1_miss_rate"`
+}
+
+// RunEnergy packages the §3.3 energy model output: the per-component
+// breakdown in nanojoules plus the derived millijoule totals.
+type RunEnergy struct {
+	BreakdownNJ energy.Breakdown `json:"breakdown_nj"`
+	TotalMJ     float64          `json:"total_mj"`
+	DynamicMJ   float64          `json:"dynamic_mj"`
+	LeakageMJ   float64          `json:"leakage_mj"`
+}
+
+// RunDoc is the machine-readable record of one benchmark × configuration
+// run: the full knob vector, provenance, and every statistic the machine
+// collected.
+type RunDoc struct {
+	Schema string `json:"schema"`
+	Bench  string `json:"bench"`
+	Scheme string `json:"scheme"`
+	Knobs  Knobs  `json:"knobs"`
+	// Source records how the result was obtained: "simulated" (fresh run),
+	// "disk-store" (loaded from the cross-process cache), or "traced-live"
+	// (forced live because an observability sink was attached).
+	Source string `json:"source"`
+	// WallSeconds is host wall-clock time for this session's handling of
+	// the point (≈0 for cache hits). It is the one volatile field:
+	// byte-determinism tests zero it before comparing documents.
+	WallSeconds    float64     `json:"wall_seconds"`
+	Cycles         uint64      `json:"cycles"`
+	Derived        RunDerived  `json:"derived"`
+	WPU            wpu.Stats   `json:"wpu"`
+	L1             mem.L1Stats `json:"l1"`
+	L2             mem.L2Stats `json:"l2"`
+	XbarTransfers  uint64      `json:"xbar_transfers"`
+	DRAMAccesses   uint64      `json:"dram_accesses"`
+	DRAMWritebacks uint64      `json:"dram_writebacks"`
+	Energy         RunEnergy   `json:"energy"`
+}
+
+// NewRunDoc assembles the document for one completed run.
+func NewRunDoc(r Result, k Knobs, source string, wallSeconds float64) RunDoc {
+	var l1Rate float64
+	if r.L1.Accesses > 0 {
+		l1Rate = float64(r.L1.Misses) / float64(r.L1.Accesses)
+	}
+	return RunDoc{
+		Schema:      RunDocSchema,
+		Bench:       r.Bench,
+		Scheme:      string(r.Scheme),
+		Knobs:       k,
+		Source:      source,
+		WallSeconds: wallSeconds,
+		Cycles:      r.Cycles,
+		Derived: RunDerived{
+			MeanSIMDWidth: r.Stats.MeanSIMDWidth(),
+			MemStallFrac:  r.Stats.MemStallFraction(),
+			L1MissRate:    l1Rate,
+		},
+		WPU:            r.Stats,
+		L1:             r.L1,
+		L2:             r.L2,
+		XbarTransfers:  r.XbarTransfers,
+		DRAMAccesses:   r.DRAMAccesses,
+		DRAMWritebacks: r.DRAMWritebacks,
+		Energy: RunEnergy{
+			BreakdownNJ: r.Energy,
+			TotalMJ:     r.Energy.TotalmJ(),
+			DynamicMJ:   r.Energy.DynamicmJ(),
+			LeakageMJ:   r.Energy.LeakagemJ(),
+		},
+	}
+}
+
+// StatsDoc is the top-level document dwsim -stats writes: the run list in
+// command-line benchmark order plus the session's cache counters.
+type StatsDoc struct {
+	Schema string     `json:"schema"`
+	Runs   []RunDoc   `json:"runs"`
+	Cache  CacheStats `json:"session_cache"`
+}
+
+// WriteStatsDoc renders the document as indented JSON.
+func WriteStatsDoc(w io.Writer, runs []RunDoc, cache CacheStats) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(StatsDoc{Schema: StatsDocSchema, Runs: runs, Cache: cache})
+}

@@ -13,7 +13,8 @@ import (
 
 // storeSchema versions the record layout; bump it whenever Result or the
 // key format changes incompatibly so stale records simply miss.
-const storeSchema = "dwsim-store-v1"
+// v2: Result gained L2 stats and interconnect/DRAM traffic counters.
+const storeSchema = "dwsim-store-v2"
 
 // Store is a persistent, cross-process result cache: one JSON record per
 // simulated point, named by a digest of the cache key plus a version salt
@@ -24,6 +25,12 @@ const storeSchema = "dwsim-store-v1"
 // The salt cannot see uncommitted source edits when the binary carries no
 // VCS stamp (as with `go run` or test binaries): after changing simulator
 // behaviour, clear the directory or pass -nocache.
+//
+// Interplay with observability: a Result record holds only the final
+// counters, never the event trace or timeline that produced them, so a
+// disk hit cannot stand in for a traced run. Session.RunTraced therefore
+// skips Load entirely and always simulates live — but it still Saves the
+// fresh Result, so a traced run warms the store for later untraced use.
 type Store struct {
 	dir  string
 	salt string

@@ -11,6 +11,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/program"
 	"repro/internal/wpu"
 )
@@ -35,6 +36,11 @@ type Config struct {
 	Hier mem.HierarchyConfig
 	// Dist selects the thread-to-WPU mapping (default DistBlock).
 	Dist Distribution
+	// Trace attaches the observability sink to every component of the
+	// machine (events) and enables the interval timeline sampler (every
+	// Trace.Interval cycles). nil — the default, and the only value the
+	// experiment cache key can denote — runs uninstrumented.
+	Trace *obs.Trace
 }
 
 // DefaultConfig returns the paper's Table 3 configuration: 4 WPUs, each
@@ -83,6 +89,10 @@ type System struct {
 
 	cycle engine.Cycle
 
+	// obsPrev holds the per-WPU counter snapshot at the previous timeline
+	// sample, so each Sample carries interval deltas.
+	obsPrev []wpu.Stats
+
 	// Tracer, when set, is invoked once per simulated cycle after all WPUs
 	// ticked — the hook behind cmd/dwstrace and custom instrumentation.
 	Tracer func(cycle uint64)
@@ -93,10 +103,11 @@ func New(cfg Config) (*System, error) {
 	if cfg.WPUs <= 0 {
 		return nil, fmt.Errorf("sim: need at least one WPU")
 	}
+	cfg.Hier.Trace = cfg.Trace
 	s := &System{Cfg: cfg, Q: &engine.Queue{}}
 	s.Hier = mem.NewHierarchy(s.Q, cfg.WPUs, cfg.Hier)
 	for i := 0; i < cfg.WPUs; i++ {
-		w, err := wpu.New(i, s.Q, cfg.WPU, s.Hier.L1s[i], s.Hier.Mem)
+		w, err := wpu.New(i, s.Q, cfg.WPU, s.Hier.L1s[i], s.Hier.Mem, cfg.Trace)
 		if err != nil {
 			return nil, err
 		}
@@ -203,6 +214,9 @@ func (s *System) run() error {
 		if s.Tracer != nil {
 			s.Tracer(uint64(s.cycle))
 		}
+		if t := s.Cfg.Trace; t != nil && t.Interval != 0 && uint64(s.cycle)%t.Interval == 0 {
+			s.sampleTimeline(uint64(s.cycle))
+		}
 		if s.Q.Len() == 0 && s.totalProgress() == progressBefore && !released {
 			// Nothing pending, nothing issued, nothing released: the machine
 			// can never make progress again.
@@ -242,6 +256,36 @@ func (s *System) allBarrierReady() bool {
 	return true
 }
 
+// sampleTimeline appends one timeline row per WPU to the observability
+// sink: interval deltas of the cycle/issue accounting plus instantaneous
+// WST, scheduler and MSHR occupancies.
+func (s *System) sampleTimeline(cycle uint64) {
+	t := s.Cfg.Trace
+	if s.obsPrev == nil {
+		s.obsPrev = make([]wpu.Stats, len(s.WPUs))
+	}
+	l2 := s.Hier.L2.OutstandingMisses()
+	for i, w := range s.WPUs {
+		st := w.Stats
+		prev := &s.obsPrev[i]
+		t.AddSample(obs.Sample{
+			Cycle:       cycle,
+			WPU:         i,
+			Busy:        st.BusyCycles - prev.BusyCycles,
+			StallMem:    st.StallMemCycles - prev.StallMemCycles,
+			StallOther:  st.StallOtherCyc - prev.StallOtherCyc,
+			Issued:      st.Issued - prev.Issued,
+			WidthAccum:  st.WidthAccum - prev.WidthAccum,
+			WSTOcc:      w.LiveSplits(),
+			Resident:    w.ResidentSplits(),
+			SlotWaiters: w.SlotWaiters(),
+			L1MSHR:      s.Hier.L1s[i].OutstandingMisses(),
+			L2MSHR:      l2,
+		})
+		s.obsPrev[i] = st
+	}
+}
+
 // TotalStats sums the per-WPU statistics.
 func (s *System) TotalStats() wpu.Stats {
 	var t wpu.Stats
@@ -255,19 +299,10 @@ func (s *System) TotalStats() wpu.Stats {
 func (s *System) L1Stats() mem.L1Stats {
 	var t mem.L1Stats
 	for _, c := range s.Hier.L1s {
-		st := c.Stats
-		t.Accesses += st.Accesses
-		t.Hits += st.Hits
-		t.Misses += st.Misses
-		t.Merges += st.Merges
-		t.Upgrades += st.Upgrades
-		t.Writebacks += st.Writebacks
-		t.Evictions += st.Evictions
-		t.Invalidates += st.Invalidates
-		t.Downgrades += st.Downgrades
-		t.BankQueuing += st.BankQueuing
-		t.MSHRStalls += st.MSHRStalls
-		t.ReadAccesses += st.ReadAccesses
+		t.Add(c.Stats)
 	}
 	return t
 }
+
+// L2Stats returns the shared-cache statistics.
+func (s *System) L2Stats() mem.L2Stats { return s.Hier.L2.Stats }

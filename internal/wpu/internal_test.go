@@ -22,7 +22,7 @@ func newBareWPU(t *testing.T, cfg Config) (*WPU, *engine.Queue, *mem.Hierarchy) 
 		L2:      mem.L2Config{SizeBytes: 64 * 1024, Ways: 8, LineSize: 128, LookupLat: 10, ProbeLat: 4, MSHRs: 16},
 		XbarLat: 2, XbarOcc: 1, MemBusOcc: 4, DRAMLat: 50,
 	})
-	w, err := New(0, q, cfg, h.L1s[0], h.Mem)
+	w, err := New(0, q, cfg, h.L1s[0], h.Mem, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

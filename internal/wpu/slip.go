@@ -1,5 +1,7 @@
 package wpu
 
+import "repro/internal/obs"
+
 // Adaptive slip (§5.7, after Tarjan et al. [33]): on memory divergence the
 // threads that hit continue within the same scheduling entity while the
 // missing threads fall behind; fall-behind groups re-unite when the
@@ -32,6 +34,9 @@ func (w *WPU) trySlip(s *Split, hitMask, missMask Mask, assignOwner func(complet
 		return false
 	}
 	w.Stats.SlipEvents++
+	if w.trace != nil {
+		w.emit(obs.EvSlip, s.warp.id, s.pc, hitMask, missMask)
+	}
 	e := &slipEntry{split: s, mask: missMask, pc: s.pc, pending: missMask, scope: s.scope}
 	s.slipped = append(s.slipped, e)
 	assignOwner(e, missMask)
@@ -71,6 +76,9 @@ func (w *WPU) slipAbsorb(s *Split) {
 			s.stack[0].Mask = s.mask
 			s.slipped = append(s.slipped[:i], s.slipped[i+1:]...)
 			w.Stats.SlipMerges++
+			if w.trace != nil {
+				w.emit(obs.EvSlipMerge, s.warp.id, s.pc, s.mask, e.mask)
+			}
 			continue
 		}
 		i++
@@ -84,6 +92,9 @@ func (w *WPU) slipAbsorb(s *Split) {
 		s.stack[0].Mask = s.mask
 		s.parked = s.parked[:len(s.parked)-1]
 		w.Stats.SlipMerges++
+		if w.trace != nil {
+			w.emit(obs.EvSlipMerge, s.warp.id, s.pc, s.mask, p.mask)
+		}
 	}
 }
 

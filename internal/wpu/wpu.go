@@ -6,6 +6,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/program"
 )
 
@@ -21,6 +22,10 @@ type WPU struct {
 	l1   *mem.L1
 	fmem *mem.Memory
 	prog *program.Program
+
+	// trace is the per-System observability sink (nil = disabled). Every
+	// emission site nil-checks it so untraced runs pay a single branch.
+	trace *obs.Trace
 
 	warps []*Warp
 
@@ -63,7 +68,8 @@ type WPU struct {
 }
 
 // New builds a WPU bound to its private L1 and the functional memory.
-func New(id int, q *engine.Queue, cfg Config, l1 *mem.L1, fmem *mem.Memory) (*WPU, error) {
+// trace is the per-System observability sink; nil disables event emission.
+func New(id int, q *engine.Queue, cfg Config, l1 *mem.L1, fmem *mem.Memory, trace *obs.Trace) (*WPU, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -74,6 +80,7 @@ func New(id int, q *engine.Queue, cfg Config, l1 *mem.L1, fmem *mem.Memory) (*WP
 		q:       q,
 		l1:      l1,
 		fmem:    fmem,
+		trace:   trace,
 		slots:   make([]*Split, cfg.SchedSlots),
 		icache:  newICache(cfg.ICacheLines, cfg.ICacheWays),
 		maxSlip: cfg.Width / 2,
@@ -102,6 +109,33 @@ func (w *WPU) ThreadCapacity() int { return w.cfg.Warps * w.cfg.Width }
 // transitions; when it stops changing with an empty event queue, the
 // machine is deadlocked.
 func (w *WPU) Progress() uint64 { return w.Stats.Issued + w.progress }
+
+// emit records one structured trace event. Callers nil-check w.trace
+// before calling so the disabled path never constructs the Event.
+func (w *WPU) emit(kind obs.EventKind, warp, pc int, mask, mask2 Mask) {
+	w.trace.Emit(obs.Event{
+		Cycle: uint64(w.q.Now()), Kind: kind, Unit: w.ID,
+		Warp: warp, PC: pc, Mask: uint64(mask), Mask2: uint64(mask2),
+	})
+}
+
+// LiveSplits returns the number of live scheduling entities — the current
+// warp-split table occupancy (the timeline sampler reads this).
+func (w *WPU) LiveSplits() int { return w.splitCount }
+
+// ResidentSplits counts scheduler slots currently held by a SIMD group.
+func (w *WPU) ResidentSplits() int {
+	n := 0
+	for _, s := range w.slots {
+		if s != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// SlotWaiters returns how many splits are queued for a scheduler slot.
+func (w *WPU) SlotWaiters() int { return len(w.slotWait) }
 
 // Launch starts a kernel: regs[i] is the initial register file of the i-th
 // hardware thread (warp-major layout: warp = i/Width, lane = i%Width).
@@ -260,6 +294,9 @@ func (w *WPU) wstRoom() bool {
 		return true
 	}
 	w.Stats.WSTFullRefusals++
+	if w.trace != nil {
+		w.emit(obs.EvWSTRefusal, -1, -1, 0, 0)
+	}
 	return false
 }
 
@@ -645,6 +682,9 @@ func (w *WPU) execBranch(s *Split, in isa.Inst) {
 // re-convergence PC is the post-dominator on top of the stack (§4.4).
 func (w *WPU) subdivideBranch(s *Split, taken, notTaken Mask, target int) {
 	w.Stats.BranchSubdivisions++
+	if w.trace != nil {
+		w.emit(obs.EvBranchSubdiv, s.warp.id, s.pc, taken, notTaken)
+	}
 	scope := s.scope
 	if !s.baseStack() {
 		scope = &SyncScope{
@@ -797,6 +837,9 @@ func (w *WPU) tryWaitMerge(s *Split) {
 		o.scope = nil
 		w.removeSplit(o)
 		w.Stats.WaitMerges++
+		if w.trace != nil {
+			w.emit(obs.EvWaitMerge, s.warp.id, s.pc, s.mask, o.mask)
+		}
 		i = -1 // the splits slice changed; rescan
 	}
 }
@@ -848,7 +891,9 @@ func (w *WPU) subdivideMem(s *Split, hitMask, missMask Mask, assignOwner func(co
 		}
 	}
 	pc := s.pc
-	tracef("memsub: %v hit=%x miss=%x scope %p{reconv=%d} parent %p", s, uint64(hitMask), uint64(missMask), scope, scopeReconv(scope), parentOf(scope))
+	if w.trace != nil {
+		w.emit(obs.EvMemSubdiv, s.warp.id, pc, hitMask, missMask)
+	}
 
 	hit := w.newSplit(s.warp, hitMask, pc, scope)
 	hit.state = WaitMem // completes after the hit latency
@@ -901,7 +946,9 @@ func (w *WPU) tryRevive() bool {
 				parent:       s.scope,
 			}
 		}
-		tracef("revive: %v arrived=%x scope %p{reconv=%d}", s, uint64(arrived), scope, scopeReconv(scope))
+		if w.trace != nil {
+			w.emit(obs.EvRevive, s.warp.id, s.pc, arrived, s.pending)
+		}
 		ready := w.newSplit(s.warp, arrived, s.pc, scope)
 		ready.state = Ready
 		ready.prog = s.prog
@@ -982,6 +1029,9 @@ func (w *WPU) tryPCMerge(s *Split) {
 		victim.scope = nil // do not disturb the scope on removal
 		w.removeSplit(victim)
 		w.Stats.PCMerges++
+		if w.trace != nil {
+			w.emit(obs.EvPCMerge, target.warp.id, target.pc, target.mask, victim.mask)
+		}
 		if target != s {
 			// s was absorbed; continue merging from the survivor.
 			s = target
@@ -999,7 +1049,9 @@ func (w *WPU) arriveAtScope(s *Split) {
 		panic(fmt.Sprintf("wpu: %s arrives at scope{reconvPC=%d} at pc %d but earlier arrivals parked at %d",
 			s, sc.reconvPC, s.pc, sc.arrivedPC))
 	}
-	tracef("arrive: %v at scope %p{reconv=%d lim=%v exp=%x arr=%x}", s, sc, sc.reconvPC, sc.limitControl, uint64(sc.expected), uint64(sc.arrived))
+	if w.trace != nil {
+		w.emit(obs.EvScopeArrive, s.warp.id, s.pc, s.mask, sc.expected)
+	}
 	sc.arrived |= s.mask
 	sc.arrivedPC = s.pc
 	s.scope = nil
@@ -1016,7 +1068,9 @@ func (w *WPU) maybeCompleteScope(sc *SyncScope) {
 		return
 	}
 	w.Stats.ScopeMerges++
-	tracef("complete scope %p at pc %d mask %x", sc, sc.arrivedPC, uint64(sc.expected))
+	if w.trace != nil {
+		w.emit(obs.EvScopeMerge, sc.warp.id, sc.arrivedPC, sc.expected, 0)
+	}
 	merged := &Split{
 		id:    w.nextSplitIDInc(),
 		warp:  sc.warp,
