@@ -1,11 +1,22 @@
-# CI entry points. `make ci` is the gate: formatting, vet, build, the
-# race detector over the parallel executor, and the full test suite.
+# CI entry points. `make ci` is the gate: formatting, vet, the static
+# verification layer (lint), build, the race detector over the parallel
+# executor, and the full test suite.
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race bench report trace
+.PHONY: ci lint fmt-check vet dwslint dwsverify build test race bench report trace
 
-ci: fmt-check vet build race test
+ci: fmt-check vet lint build race test
+
+# Static verification layer: the determinism linter over the simulator
+# packages and the ISA program verifier over every benchmark kernel.
+lint: fmt-check vet dwslint dwsverify
+
+dwslint:
+	$(GO) run ./cmd/dwslint ./internal
+
+dwsverify:
+	$(GO) run ./cmd/dwsverify
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

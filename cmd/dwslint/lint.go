@@ -1,0 +1,439 @@
+// The determinism linter: go/ast + go/types checks for the hazards that
+// would silently break the simulator's byte-identical -j 1 vs -j 8
+// guarantee (see internal/report). Four checks:
+//
+//   - wallclock:  time.Now / time.Since in simulation code. Simulated time
+//     is the engine's cycle counter; wall-clock reads make results depend
+//     on host load.
+//   - rand:       use of math/rand's global source (rand.Intn, rand.Seed,
+//     ...). Only an explicitly seeded *rand.Rand — the
+//     rand.New(rand.NewSource(seed)) pattern — is reproducible.
+//   - maprange:   ranging over a map where the body assigns to state
+//     declared outside the loop. Go randomises map iteration order, so
+//     such writes make results depend on it. The keys-collection idiom
+//     (x = append(x, key) followed by a sort) is exempt.
+//   - goroutine:  a go statement outside the approved executor files. All
+//     simulator concurrency must flow through the report.Session worker
+//     pool, whose merge order is deterministic.
+//
+// A finding can be suppressed with a trailing or preceding comment
+// directive `//dwslint:ignore <reason>`; the reason is mandatory.
+//
+// Typechecking uses a permissive importer that resolves every import to an
+// empty package: under the module build we have no export data for
+// dependencies, and the checks only need locally resolvable facts —
+// package-qualified selectors (via types.Info.Uses) and the types of maps
+// declared in the package under lint. Map values that cross package
+// boundaries are invisible to the maprange check; the determinism-critical
+// packages own their maps, so this is an accepted limitation.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one linter diagnostic.
+type Finding struct {
+	Pos   token.Position
+	Check string
+	Msg   string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Msg)
+}
+
+// ignoreDirective is the comment prefix that suppresses a finding on its
+// own line or the line below.
+const ignoreDirective = "dwslint:ignore"
+
+// Linter holds configuration for a lint run.
+type Linter struct {
+	// ApprovedGoroutineFiles are path suffixes of files allowed to launch
+	// goroutines (the executor worker pool).
+	ApprovedGoroutineFiles []string
+}
+
+// LintDirs lints every non-test Go file under the given roots and returns
+// the findings sorted by position.
+func (l *Linter) LintDirs(roots ...string) ([]Finding, error) {
+	pkgDirs := map[string]bool{}
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if path != root && (d.Name() == "testdata" || strings.HasPrefix(d.Name(), ".")) {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+				pkgDirs[filepath.Dir(path)] = true
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	dirs := make([]string, 0, len(pkgDirs))
+	for dir := range pkgDirs {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+
+	var all []Finding
+	for _, dir := range dirs {
+		fs, err := l.lintPackageDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, fs...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].Pos, all[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return all, nil
+}
+
+func (l *Linter) lintPackageDir(dir string) ([]Finding, error) {
+	fset := token.NewFileSet()
+	entries, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	// Group files by package name: a directory can hold package x and
+	// package main (or x_test externals, already excluded).
+	byPkg := map[string][]*ast.File{}
+	for _, path := range entries {
+		if strings.HasSuffix(path, "_test.go") {
+			continue
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("dwslint: %w", err)
+		}
+		byPkg[file.Name.Name] = append(byPkg[file.Name.Name], file)
+	}
+	pkgNames := make([]string, 0, len(byPkg))
+	for name := range byPkg {
+		pkgNames = append(pkgNames, name)
+	}
+	sort.Strings(pkgNames)
+
+	var all []Finding
+	for _, name := range pkgNames {
+		files := byPkg[name]
+		info := &types.Info{
+			Types: make(map[ast.Expr]types.TypeAndValue),
+			Uses:  make(map[*ast.Ident]types.Object),
+			Defs:  make(map[*ast.Ident]types.Object),
+		}
+		conf := types.Config{
+			Importer: &fakeImporter{pkgs: map[string]*types.Package{}},
+			Error:    func(error) {}, // imports are fake: errors are expected
+		}
+		// Check fills info for everything it can resolve even when the
+		// package has type errors; the returned error is ignored on purpose.
+		conf.Check(dir, fset, files, info) //nolint:errcheck
+		for _, file := range files {
+			w := &walker{l: l, fset: fset, info: info, file: file}
+			ast.Walk(w, file)
+			all = append(all, w.applyIgnores()...)
+		}
+	}
+	return all, nil
+}
+
+// fakeImporter resolves every import path to an empty, complete package.
+// The default importer needs export data we do not have under the module
+// build; the checks only rely on package-qualified identifier *names*.
+type fakeImporter struct{ pkgs map[string]*types.Package }
+
+func (f *fakeImporter) Import(path string) (*types.Package, error) {
+	if p, ok := f.pkgs[path]; ok {
+		return p, nil
+	}
+	name := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		name = path[i+1:]
+	}
+	p := types.NewPackage(path, name)
+	p.MarkComplete()
+	f.pkgs[path] = p
+	return p, nil
+}
+
+// walker runs the four checks over one file.
+type walker struct {
+	l        *Linter
+	fset     *token.FileSet
+	info     *types.Info
+	file     *ast.File
+	findings []Finding
+}
+
+func (w *walker) add(pos token.Pos, check, format string, args ...any) {
+	w.findings = append(w.findings, Finding{
+		Pos:   w.fset.Position(pos),
+		Check: check,
+		Msg:   fmt.Sprintf(format, args...),
+	})
+}
+
+func (w *walker) Visit(n ast.Node) ast.Visitor {
+	switch n := n.(type) {
+	case *ast.SelectorExpr:
+		w.checkPkgSelector(n)
+	case *ast.RangeStmt:
+		w.checkMapRange(n)
+	case *ast.GoStmt:
+		w.checkGoroutine(n)
+	}
+	return w
+}
+
+// pkgPathOf resolves the import path when ident names an imported package,
+// via the typechecker when possible and the file's import table otherwise.
+func (w *walker) pkgPathOf(ident *ast.Ident) string {
+	if obj, ok := w.info.Uses[ident]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn.Imported().Path()
+		}
+		return "" // a variable, field, etc. shadowing nothing
+	}
+	// Unresolved (type errors elsewhere): fall back to the import table.
+	for _, imp := range w.file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			name = path[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == ident.Name {
+			return path
+		}
+	}
+	return ""
+}
+
+// checkPkgSelector implements the wallclock and rand checks.
+func (w *walker) checkPkgSelector(sel *ast.SelectorExpr) {
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	switch w.pkgPathOf(ident) {
+	case "time":
+		switch sel.Sel.Name {
+		case "Now", "Since":
+			w.add(sel.Pos(), "wallclock",
+				"time.%s in simulation code: simulated time is the engine's cycle counter, wall-clock reads are nondeterministic", sel.Sel.Name)
+		}
+	case "math/rand", "math/rand/v2":
+		switch sel.Sel.Name {
+		case "New", "NewSource", "Source", "Rand":
+			// The approved pattern: rand.New(rand.NewSource(seed)), plus
+			// the type names needed to hold one.
+		default:
+			w.add(sel.Pos(), "rand",
+				"rand.%s uses the global math/rand source: construct an explicitly seeded generator with rand.New(rand.NewSource(seed))", sel.Sel.Name)
+		}
+	}
+}
+
+// checkMapRange flags ranging over a map while assigning to state declared
+// outside the loop body.
+func (w *walker) checkMapRange(rs *ast.RangeStmt) {
+	tv, ok := w.info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return // unresolved (crosses a fake import): out of scope
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+
+	inBody := func(pos token.Pos) bool {
+		return pos >= rs.Body.Pos() && pos <= rs.Body.End()
+	}
+	// declaredInside reports whether the base identifier of an lvalue is
+	// the range key/value or declared within the loop body.
+	declaredInside := func(e ast.Expr) bool {
+		base := baseIdent(e)
+		if base == nil {
+			return false
+		}
+		if obj := w.info.Defs[base]; obj != nil {
+			return true // the := definition itself
+		}
+		obj, ok := w.info.Uses[base]
+		if !ok || obj == nil {
+			return false
+		}
+		pos := obj.Pos()
+		if kv, ok := rs.Key.(*ast.Ident); ok && obj.Pos() == kv.Pos() {
+			return true
+		}
+		if vv, ok := rs.Value.(*ast.Ident); ok && obj.Pos() == vv.Pos() {
+			return true
+		}
+		return inBody(pos)
+	}
+	rangeVarNames := map[string]bool{}
+	if kv, ok := rs.Key.(*ast.Ident); ok {
+		rangeVarNames[kv.Name] = true
+	}
+	if vv, ok := rs.Value.(*ast.Ident); ok {
+		rangeVarNames[vv.Name] = true
+	}
+	// isKeyCollection recognises `x = append(x, k...)` where every appended
+	// value is a range variable or literal — the sort-the-keys idiom, which
+	// is order-independent once sorted.
+	isKeyCollection := func(as *ast.AssignStmt) bool {
+		if len(as.Lhs) != 1 || len(as.Rhs) != 1 || as.Tok != token.ASSIGN {
+			return false
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" || len(call.Args) < 2 {
+			return false
+		}
+		if first, ok := call.Args[0].(*ast.Ident); !ok || first.Name != lhs.Name {
+			return false
+		}
+		for _, arg := range call.Args[1:] {
+			switch a := arg.(type) {
+			case *ast.Ident:
+				if !rangeVarNames[a.Name] {
+					return false
+				}
+			case *ast.BasicLit:
+			default:
+				return false
+			}
+		}
+		return true
+	}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if isKeyCollection(n) {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+					continue
+				}
+				if !declaredInside(lhs) {
+					w.add(n.Pos(), "maprange",
+						"assignment to state declared outside a map-range loop: map iteration order is randomised, so this write order is nondeterministic (collect and sort the keys first)")
+					return true
+				}
+			}
+		case *ast.IncDecStmt:
+			if !declaredInside(n.X) {
+				w.add(n.Pos(), "maprange",
+					"increment of state declared outside a map-range loop: map iteration order is randomised (collect and sort the keys first)")
+			}
+		case *ast.SendStmt:
+			w.add(n.Pos(), "maprange",
+				"channel send inside a map-range loop: delivery order follows the randomised map iteration order")
+		}
+		return true
+	})
+}
+
+// baseIdent unwraps an lvalue to its base identifier: a[i].b -> a.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// checkGoroutine flags go statements outside the approved executor files.
+func (w *walker) checkGoroutine(g *ast.GoStmt) {
+	file := filepath.ToSlash(w.fset.Position(g.Pos()).Filename)
+	for _, ok := range w.l.ApprovedGoroutineFiles {
+		if strings.HasSuffix(file, ok) {
+			return
+		}
+	}
+	w.add(g.Pos(), "goroutine",
+		"goroutine launched outside the approved executor files (%s): simulator concurrency must flow through the report.Session worker pool",
+		strings.Join(w.l.ApprovedGoroutineFiles, ", "))
+}
+
+// applyIgnores drops findings suppressed by a `//dwslint:ignore reason`
+// directive on the same line or the line above, and reports directives
+// lacking a reason.
+func (w *walker) applyIgnores() []Finding {
+	suppressed := map[int]bool{}
+	for _, cg := range w.file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, ignoreDirective) {
+				continue
+			}
+			reason := strings.TrimSpace(strings.TrimPrefix(text, ignoreDirective))
+			line := w.fset.Position(c.Pos()).Line
+			if reason == "" {
+				w.add(c.Pos(), "directive", "dwslint:ignore requires a reason")
+				continue
+			}
+			suppressed[line] = true
+			suppressed[line+1] = true
+		}
+	}
+	if len(suppressed) == 0 {
+		return w.findings
+	}
+	kept := w.findings[:0]
+	for _, f := range w.findings {
+		if f.Check != "directive" && suppressed[f.Pos.Line] {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept
+}

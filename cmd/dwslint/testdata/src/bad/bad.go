@@ -1,0 +1,48 @@
+// Package bad seeds one violation of every dwslint check; lint_test.go
+// asserts each is caught at the expected line.
+package bad
+
+import (
+	"math/rand"
+	"time"
+)
+
+var counters = map[string]int{}
+
+func wallclock() time.Duration {
+	start := time.Now()      // want wallclock
+	return time.Since(start) // want wallclock
+}
+
+func globalRand() int {
+	rand.Seed(42)        // want rand
+	return rand.Intn(10) // want rand
+}
+
+func mapOrder() int {
+	total := 0
+	for _, v := range counters {
+		total += v // want maprange
+	}
+	var sum int
+	for k := range counters {
+		sum++             // want maprange
+		counters[k] = sum // want maprange
+	}
+	return total + sum
+}
+
+func mapSend(ch chan string) {
+	for k := range counters {
+		ch <- k // want maprange
+	}
+}
+
+func spawn() {
+	go func() {}() // want goroutine
+}
+
+func emptyReason() {
+	//dwslint:ignore
+	_ = time.Now() // want wallclock -- a reasonless directive suppresses nothing
+}

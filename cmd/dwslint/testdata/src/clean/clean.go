@@ -1,0 +1,46 @@
+// Package clean exercises the approved patterns dwslint must NOT flag.
+package clean
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+var stats = map[string]int{}
+
+// seededRand is the approved reproducible-randomness pattern.
+func seededRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// keysSorted is the approved map-iteration idiom: collect keys, sort,
+// iterate the slice.
+func keysSorted() []string {
+	keys := make([]string, 0, len(stats))
+	for k := range stats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// localState writes only to state declared inside the loop body.
+func localState() {
+	for k, v := range stats {
+		double := v * 2
+		double++
+		_ = k
+		_ = double
+	}
+}
+
+// ignored shows a justified suppression.
+func ignored() time.Time {
+	return time.Now() //dwslint:ignore fixture demonstrating a justified suppression
+}
+
+// simTime uses time for formatting only, not wall-clock reads.
+func simTime(cycles int64) time.Duration {
+	return time.Duration(cycles) * time.Nanosecond
+}

@@ -145,6 +145,40 @@ func (o Op) IsControl() bool { return o.IsBranch() || o == JMP }
 // (used by the energy model to charge FPU rather than integer ALU energy).
 func (o Op) IsFloat() bool { return o >= FADD && o <= FTOI }
 
+// ReadsA reports whether the opcode reads the SrcA register. The static
+// analyses in internal/program (def-before-use, liveness, divergence taint)
+// key off these properties, so they must match ExecALU/EffAddr/BranchTaken
+// exactly.
+func (o Op) ReadsA() bool {
+	switch o {
+	case NOP, MOVI, FMOVI, JMP, BARRIER, HALT:
+		return false
+	}
+	return o.Valid()
+}
+
+// ReadsB reports whether the opcode reads the SrcB register.
+func (o Op) ReadsB() bool {
+	switch {
+	case o >= ADD && o <= MAX:
+		return true
+	case o >= FADD && o <= FSLE && o != FNEG && o != FABS:
+		return true
+	case o == ST: // the stored value
+		return true
+	}
+	return false
+}
+
+// WritesDst reports whether the opcode writes the Dst register.
+func (o Op) WritesDst() bool {
+	switch o {
+	case NOP, ST, BEQZ, BNEZ, JMP, BARRIER, HALT:
+		return false
+	}
+	return o.Valid()
+}
+
 // Inst is one decoded instruction. Instructions are stored decoded — the
 // simulator models timing and behaviour, not binary encodings.
 type Inst struct {

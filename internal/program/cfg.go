@@ -127,6 +127,30 @@ func postDominators(blocks []Block) []int {
 		}
 	}
 
+	// Blocks that cannot reach the exit (infinite loops) keep the vacuous
+	// full set in the maximal fixpoint; post-dominance is undefined for
+	// them, so report -1 (matching the CHK formulation in verify.go, where
+	// such nodes are simply unreached by the reverse-graph DFS).
+	canExit := make([]bool, n)
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v < n; v++ {
+			if canExit[v] {
+				continue
+			}
+			ok := len(blocks[v].Succ) == 0
+			for _, s := range blocks[v].Succ {
+				if canExit[s] {
+					ok = true
+				}
+			}
+			if ok {
+				canExit[v] = true
+				changed = true
+			}
+		}
+	}
+
 	bit := func(set []uint64, v int) bool { return set[v/64]&(1<<(v%64)) != 0 }
 	popcount := func(set []uint64) int {
 		c := 0
@@ -140,6 +164,10 @@ func postDominators(blocks []Block) []int {
 
 	ipdom := make([]int, n)
 	for v := 0; v < n; v++ {
+		if !canExit[v] {
+			ipdom[v] = -1
+			continue
+		}
 		// Candidates: strict post-dominators of v. The immediate one is the
 		// candidate closest to v, i.e. with the largest post-dominator set.
 		best, bestSize := -1, -1

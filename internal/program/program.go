@@ -14,6 +14,7 @@ package program
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/isa"
@@ -50,6 +51,14 @@ type Block struct {
 // Len returns the number of instructions in the block.
 func (b Block) Len() int { return b.End - b.Start }
 
+// RegionDecl declares a memory region reachable through a base register:
+// the launcher is expected to point Reg at a buffer of Words 8-byte words.
+// The verifier's bounds check interprets addresses relative to these.
+type RegionDecl struct {
+	Reg   isa.Reg
+	Words int64
+}
+
 // Program is a validated, analysed kernel ready for simulation.
 type Program struct {
 	Name   string
@@ -57,6 +66,22 @@ type Program struct {
 	Blocks []Block
 
 	branches map[int]BranchInfo // keyed by instruction index
+
+	// reconv is the verified re-convergence table the WPU consumes: per
+	// branch pc, the re-convergence pc recomputed by the verifier's
+	// independent post-dominator analysis (NoIPdom when the paths re-join
+	// only at kernel exit). Populated by Build after verification passes.
+	reconv map[int]int
+
+	// Static declarations carried over from the Builder; they gate the
+	// def-use and bounds checks.
+	inputs         uint32 // bitmask of declared entry-defined registers
+	inputsDeclared bool
+	regions        []RegionDecl
+	maxThreads     int
+	shortLimit     int
+
+	verified bool
 }
 
 // Branch returns the metadata for the conditional branch at pc.
@@ -67,6 +92,23 @@ func (p *Program) Branch(pc int) (BranchInfo, bool) {
 
 // NumBranches returns the number of conditional branches in the program.
 func (p *Program) NumBranches() int { return len(p.branches) }
+
+// Verified reports whether the program passed the structural verifier at
+// Build time. The WPU refuses to launch unverified programs.
+func (p *Program) Verified() bool { return p.verified }
+
+// ReconvPC returns the verified re-convergence pc for the branch at pc —
+// the value the WPU's re-convergence stack and warp-split table consume.
+// NoIPdom means the divergent paths re-join only at kernel termination.
+func (p *Program) ReconvPC(pc int) (int, bool) {
+	r, ok := p.reconv[pc]
+	return r, ok
+}
+
+// Regions returns the declared memory regions (for tooling display).
+func (p *Program) Regions() []RegionDecl {
+	return append([]RegionDecl(nil), p.regions...)
+}
 
 // Disassemble renders the program with block boundaries and branch
 // metadata, for debugging kernels.
@@ -104,6 +146,11 @@ type Builder struct {
 	labels map[string]int
 	fixups map[int]string // instruction index -> unresolved label
 
+	inputs         uint32
+	inputsDeclared bool
+	regions        []RegionDecl
+	maxThreads     int
+
 	// ShortBlockLimit overrides the subdivide-branch heuristic threshold;
 	// zero means DefaultShortBlockLimit.
 	ShortBlockLimit int
@@ -117,6 +164,32 @@ func NewBuilder(name string) *Builder {
 		fixups: make(map[int]string),
 	}
 }
+
+// DeclareInputs declares the registers the launcher preloads beyond the ABI
+// trio (r1 tid, r2 thread count, r3 local index). Declaring inputs — here or
+// via DeclareRegion — turns on the verifier's def-before-use check: every
+// other register must then be written before it is read on all paths.
+func (b *Builder) DeclareInputs(regs ...isa.Reg) {
+	b.inputsDeclared = true
+	for _, r := range regs {
+		if r < isa.NumRegs {
+			b.inputs |= 1 << r
+		}
+	}
+}
+
+// DeclareRegion declares that the launcher points reg at a memory region of
+// the given number of 8-byte words. The register counts as a declared input,
+// and the verifier statically bounds-checks every access whose address is
+// affine in the thread id relative to the region base.
+func (b *Builder) DeclareRegion(reg isa.Reg, words int64) {
+	b.DeclareInputs(reg)
+	b.regions = append(b.regions, RegionDecl{Reg: reg, Words: words})
+}
+
+// DeclareThreads declares the maximum thread count the kernel is launched
+// with, giving the bounds check the range of the thread id.
+func (b *Builder) DeclareThreads(n int) { b.maxThreads = n }
 
 // Label defines a label at the current position. Defining the same label
 // twice panics: it is a static kernel-authoring bug.
@@ -296,14 +369,24 @@ func (b *Builder) Halt() { b.Emit(isa.Inst{Op: isa.HALT}) }
 func (b *Builder) Nop() { b.Emit(isa.Inst{Op: isa.NOP}) }
 
 // Build resolves labels, validates the kernel, constructs the CFG, runs
-// post-dominator analysis and applies the subdivide-branch heuristic.
+// post-dominator analysis, applies the subdivide-branch heuristic, and runs
+// the static verifier (verify.go). Any Err-severity finding fails the build;
+// Warn findings are tolerated here and rejected only by MustVerify.
 func (b *Builder) Build() (*Program, error) {
 	if len(b.code) == 0 {
 		return nil, fmt.Errorf("program %q: empty", b.name)
 	}
 	code := make([]isa.Inst, len(b.code))
 	copy(code, b.code)
-	for pc, label := range b.fixups {
+	// Resolve fixups in pc order so the first error reported (and the whole
+	// build) is independent of map iteration order.
+	fixupPCs := make([]int, 0, len(b.fixups))
+	for pc := range b.fixups {
+		fixupPCs = append(fixupPCs, pc)
+	}
+	sort.Ints(fixupPCs)
+	for _, pc := range fixupPCs {
+		label := b.fixups[pc]
 		target, ok := b.labels[label]
 		if !ok {
 			return nil, fmt.Errorf("program %q: undefined label %q at pc %d", b.name, label, pc)
@@ -353,6 +436,56 @@ func (b *Builder) Build() (*Program, error) {
 		}
 		p.branches[pc] = bi
 	}
+
+	// Carry the static declarations over and verify. Only Err findings fail
+	// the build — warnings are surfaced by MustVerify and dwsverify.
+	seenRegion := make(map[isa.Reg]bool)
+	for _, r := range b.regions {
+		if r.Reg == 0 || r.Reg >= isa.NumRegs {
+			return nil, fmt.Errorf("program %q: region base r%d invalid", b.name, r.Reg)
+		}
+		if r.Words <= 0 {
+			return nil, fmt.Errorf("program %q: region at r%d has non-positive size %d", b.name, r.Reg, r.Words)
+		}
+		if seenRegion[r.Reg] {
+			return nil, fmt.Errorf("program %q: region base r%d declared twice", b.name, r.Reg)
+		}
+		seenRegion[r.Reg] = true
+	}
+	p.inputs = b.inputs
+	p.inputsDeclared = b.inputsDeclared
+	p.regions = append([]RegionDecl(nil), b.regions...)
+	p.maxThreads = b.maxThreads
+	p.shortLimit = limit
+
+	findings := p.Verify()
+	var errs []Finding
+	for _, f := range findings {
+		if f.Severity == Err {
+			errs = append(errs, f)
+		}
+	}
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("program %q: verifier found %d error(s):\n%s",
+			b.name, len(errs), FormatFindings(errs))
+	}
+
+	// The verifier's independent post-dominator pass agreed with the
+	// builder's; record its answers as the re-convergence table the WPU
+	// consumes (rather than the builder-side BranchInfo it cross-checked).
+	vip := verifiedIPdom(p.Blocks)
+	p.reconv = make(map[int]int, len(p.branches))
+	for pc, in := range code {
+		if !in.Op.IsBranch() {
+			continue
+		}
+		r := NoIPdom
+		if d := vip[blockOf[pc]]; d >= 0 {
+			r = p.Blocks[d].Start
+		}
+		p.reconv[pc] = r
+	}
+	p.verified = true
 	return p, nil
 }
 
@@ -361,6 +494,17 @@ func (b *Builder) MustBuild() *Program {
 	p, err := b.Build()
 	if err != nil {
 		panic(err)
+	}
+	return p
+}
+
+// MustVerify is MustBuild with a zero-findings bar: it panics if the
+// verifier reports anything at all, warnings included. The eight benchmark
+// kernels are built with this.
+func (b *Builder) MustVerify() *Program {
+	p := b.MustBuild()
+	if fs := p.Verify(); len(fs) > 0 {
+		panic(fmt.Sprintf("program %q: verifier findings:\n%s", p.Name, FormatFindings(fs)))
 	}
 	return p
 }

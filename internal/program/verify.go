@@ -1,0 +1,894 @@
+// Program verifier: independent static checks over a built Program.
+//
+// The DWS mechanisms in internal/wpu (re-convergence stacks, warp-split
+// table, PC merges) silently assume the program metadata they consume is
+// right. A stale re-convergence PC makes a stack pop at the wrong place; a
+// barrier on a divergent path deadlocks a warp; an ill-formed CFG breaks the
+// post-dominator analysis that both rely on. Verify re-derives everything it
+// can with algorithms deliberately different from the ones Build uses (the
+// re-convergence check recomputes post-dominators with Cooper-Harvey-Kennedy
+// on the reverse CFG rather than the bitset fixpoint in cfg.go) and reports
+// findings instead of trusting the builder.
+//
+// Severity policy: structural problems that would make simulation wrong or
+// crash (ill-formed CFG, unreachable code, wrong re-convergence points,
+// reads of provably undefined registers, provable out-of-bounds accesses)
+// are Err and fail Build. Hygiene findings (dead definitions, writes to the
+// hardwired r0, barriers that are merely *potentially* under divergence)
+// are Warn: Build tolerates them, MustVerify does not. The warp-uniform
+// branch-over-barrier idiom is legal at runtime, so it must not be a build
+// error — but the eight benchmarks are held to the stricter MustVerify bar.
+package program
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Severity classifies a verifier finding.
+type Severity uint8
+
+const (
+	// Warn marks hygiene findings: tolerated by Build, rejected by
+	// MustVerify.
+	Warn Severity = iota
+	// Err marks structural findings that make the program unsafe to
+	// simulate; Build fails on any of these.
+	Err
+)
+
+// String returns "warn" or "error".
+func (s Severity) String() string {
+	if s == Err {
+		return "error"
+	}
+	return "warn"
+}
+
+// Finding is one verifier diagnostic.
+type Finding struct {
+	// Check names the analysis that produced the finding (e.g.
+	// "reconvergence", "def-use").
+	Check    string
+	Severity Severity
+	// PC is the instruction index the finding refers to, or -1.
+	PC int
+	// Block is the basic-block ID the finding refers to, or -1.
+	Block int
+	Msg   string
+}
+
+// String renders the finding in the human-readable form the dwsverify
+// command prints.
+func (f Finding) String() string {
+	var loc strings.Builder
+	if f.PC >= 0 {
+		fmt.Fprintf(&loc, " @pc %d", f.PC)
+	}
+	if f.Block >= 0 {
+		fmt.Fprintf(&loc, " (B%d)", f.Block)
+	}
+	return fmt.Sprintf("[%s] %s%s: %s", f.Severity, f.Check, loc.String(), f.Msg)
+}
+
+// FormatFindings renders findings one per line.
+func FormatFindings(fs []Finding) string {
+	var sb strings.Builder
+	for _, f := range fs {
+		sb.WriteString("  ")
+		sb.WriteString(f.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Verify runs every static check and returns the findings, sorted
+// deterministically. A nil result means the program passed clean.
+//
+// If the CFG itself is ill-formed (shape errors), only the shape findings
+// are returned: the deeper analyses assume a well-formed block structure.
+func (p *Program) Verify() []Finding {
+	fs := p.checkShape()
+	for _, f := range fs {
+		if f.Severity == Err {
+			sortFindings(fs)
+			return fs
+		}
+	}
+	reach := p.reachableBlocks()
+	fs = append(fs, p.checkReachability(reach)...)
+	fs = append(fs, p.checkReconvergence()...)
+	fs = append(fs, p.checkDefUse(reach)...)
+	fs = append(fs, p.checkDeadDefs(reach)...)
+	fs = append(fs, p.checkBarriers(reach)...)
+	fs = append(fs, p.checkBounds(reach)...)
+	sortFindings(fs)
+	return fs
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].PC != fs[j].PC {
+			return fs[i].PC < fs[j].PC
+		}
+		if fs[i].Block != fs[j].Block {
+			return fs[i].Block < fs[j].Block
+		}
+		if fs[i].Check != fs[j].Check {
+			return fs[i].Check < fs[j].Check
+		}
+		return fs[i].Msg < fs[j].Msg
+	})
+}
+
+// blockOf maps every instruction index to its basic-block ID. Callers must
+// have established block tiling (checkShape) first.
+func (p *Program) blockOf() []int {
+	m := make([]int, len(p.Code))
+	for _, blk := range p.Blocks {
+		for pc := blk.Start; pc < blk.End; pc++ {
+			m[pc] = blk.ID
+		}
+	}
+	return m
+}
+
+// checkShape validates the CFG's structural invariants: blocks tile the
+// code, terminators appear only at block ends, successor edges match the
+// terminators, and every register index is architectural. All its findings
+// are Err; if any are present the rest of the verifier is skipped.
+func (p *Program) checkShape() []Finding {
+	var fs []Finding
+	add := func(pc, blk int, format string, args ...any) {
+		fs = append(fs, Finding{
+			Check: "cfg-shape", Severity: Err, PC: pc, Block: blk,
+			Msg: fmt.Sprintf(format, args...),
+		})
+	}
+	n := len(p.Code)
+	if n == 0 {
+		add(-1, -1, "empty program")
+		return fs
+	}
+	if len(p.Blocks) == 0 {
+		add(-1, -1, "no basic blocks")
+		return fs
+	}
+	for pc, in := range p.Code {
+		if !in.Op.Valid() {
+			add(pc, -1, "invalid opcode %d", uint8(in.Op))
+			continue
+		}
+		if in.Op.WritesDst() && in.Dst >= isa.NumRegs {
+			add(pc, -1, "destination register r%d out of range", in.Dst)
+		}
+		if in.Op.ReadsA() && in.SrcA >= isa.NumRegs {
+			add(pc, -1, "source register r%d out of range", in.SrcA)
+		}
+		if in.Op.ReadsB() && in.SrcB >= isa.NumRegs {
+			add(pc, -1, "source register r%d out of range", in.SrcB)
+		}
+		if in.Op.IsControl() && (in.Target < 0 || in.Target >= n) {
+			add(pc, -1, "branch target %d out of range", in.Target)
+		}
+	}
+	if len(fs) > 0 {
+		return fs
+	}
+
+	if p.Blocks[0].Start != 0 {
+		add(-1, 0, "entry block starts at pc %d, not 0", p.Blocks[0].Start)
+	}
+	next := 0
+	startToID := make(map[int]int, len(p.Blocks))
+	for i, blk := range p.Blocks {
+		if blk.ID != i {
+			add(-1, i, "block ID %d at index %d", blk.ID, i)
+		}
+		if blk.Start != next || blk.End <= blk.Start || blk.End > n {
+			add(-1, i, "blocks do not tile the code: B%d spans [%d,%d), expected start %d",
+				i, blk.Start, blk.End, next)
+		}
+		startToID[blk.Start] = i
+		next = blk.End
+	}
+	if next != n {
+		add(-1, -1, "blocks cover %d of %d instructions", next, n)
+	}
+	if len(fs) > 0 {
+		return fs
+	}
+
+	for _, blk := range p.Blocks {
+		for pc := blk.Start; pc < blk.End-1; pc++ {
+			op := p.Code[pc].Op
+			if op.IsControl() || op == isa.HALT {
+				add(pc, blk.ID, "terminator %s in the middle of a basic block", op)
+			}
+		}
+		last := p.Code[blk.End-1]
+		var want []int
+		switch {
+		case last.Op.IsBranch():
+			if blk.End < n {
+				want = append(want, startToID[blk.End])
+			}
+			t, ok := startToID[last.Target]
+			if !ok {
+				add(blk.End-1, blk.ID, "branch target pc %d is not a block leader", last.Target)
+				continue
+			}
+			if len(want) == 0 || want[0] != t {
+				want = append(want, t)
+			}
+		case last.Op == isa.JMP:
+			t, ok := startToID[last.Target]
+			if !ok {
+				add(blk.End-1, blk.ID, "jump target pc %d is not a block leader", last.Target)
+				continue
+			}
+			want = []int{t}
+		case last.Op == isa.HALT:
+			// Exit block: no successors.
+		default:
+			if blk.End >= n {
+				add(blk.End-1, blk.ID, "control falls off the end of the program")
+				continue
+			}
+			want = []int{startToID[blk.End]}
+		}
+		if len(want) != len(blk.Succ) {
+			add(blk.End-1, blk.ID, "successor edges %v do not match terminator (want %v)", blk.Succ, want)
+			continue
+		}
+		for i := range want {
+			if blk.Succ[i] != want[i] {
+				add(blk.End-1, blk.ID, "successor edges %v do not match terminator (want %v)", blk.Succ, want)
+				break
+			}
+		}
+	}
+	return fs
+}
+
+// reachableBlocks marks the blocks reachable from the entry block.
+func (p *Program) reachableBlocks() []bool {
+	reach := make([]bool, len(p.Blocks))
+	stack := []int{0}
+	reach[0] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range p.Blocks[v].Succ {
+			if !reach[s] {
+				reach[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return reach
+}
+
+// checkReachability flags unreachable basic blocks — dead code that the
+// post-dominator analysis never exercised and the WPU can never execute.
+func (p *Program) checkReachability(reach []bool) []Finding {
+	var fs []Finding
+	for i, blk := range p.Blocks {
+		if !reach[i] {
+			fs = append(fs, Finding{
+				Check: "reachability", Severity: Err, PC: blk.Start, Block: i,
+				Msg: fmt.Sprintf("unreachable block (dead code, pcs %d..%d)", blk.Start, blk.End-1),
+			})
+		}
+	}
+	return fs
+}
+
+// checkReconvergence recomputes every branch's immediate post-dominator with
+// an independent algorithm (Cooper-Harvey-Kennedy on the reverse CFG) and
+// compares it against the metadata recorded by Build. This is the check that
+// protects the paper's re-convergence stack and the WST's PC-merge test: a
+// wrong re-convergence PC makes conventional warps pop their stacks at the
+// wrong place and makes DWS splits merge at PCs that never match.
+func (p *Program) checkReconvergence() []Finding {
+	var fs []Finding
+	vip := verifiedIPdom(p.Blocks)
+	blockOf := p.blockOf()
+	limit := p.shortLimit
+	if limit <= 0 {
+		limit = DefaultShortBlockLimit
+	}
+	seen := 0
+	for pc, in := range p.Code {
+		if !in.Op.IsBranch() {
+			continue
+		}
+		seen++
+		bi, ok := p.branches[pc]
+		if !ok {
+			fs = append(fs, Finding{
+				Check: "reconvergence", Severity: Err, PC: pc, Block: blockOf[pc],
+				Msg: "branch has no recorded metadata",
+			})
+			continue
+		}
+		want, wantSub := NoIPdom, false
+		if d := vip[blockOf[pc]]; d >= 0 {
+			want = p.Blocks[d].Start
+			wantSub = p.Blocks[d].Len() <= limit
+		}
+		if bi.IPdom != want {
+			fs = append(fs, Finding{
+				Check: "reconvergence", Severity: Err, PC: pc, Block: blockOf[pc],
+				Msg: fmt.Sprintf("recorded re-convergence pc %s, independent post-dominator analysis says %s",
+					reconvName(bi.IPdom), reconvName(want)),
+			})
+			continue
+		}
+		if bi.Subdividable != wantSub {
+			fs = append(fs, Finding{
+				Check: "reconvergence", Severity: Err, PC: pc, Block: blockOf[pc],
+				Msg: fmt.Sprintf("subdividable=%v disagrees with the short-block heuristic (limit %d)",
+					bi.Subdividable, limit),
+			})
+		}
+	}
+	if seen != len(p.branches) {
+		extra := make([]int, 0, len(p.branches))
+		for pc := range p.branches {
+			if pc < 0 || pc >= len(p.Code) || !p.Code[pc].Op.IsBranch() {
+				extra = append(extra, pc)
+			}
+		}
+		sort.Ints(extra)
+		for _, pc := range extra {
+			fs = append(fs, Finding{
+				Check: "reconvergence", Severity: Err, PC: pc, Block: -1,
+				Msg: "branch metadata recorded for a non-branch instruction",
+			})
+		}
+	}
+	return fs
+}
+
+func reconvName(pc int) string {
+	if pc == NoIPdom {
+		return "exit"
+	}
+	return fmt.Sprintf("%d", pc)
+}
+
+// verifiedIPdom computes immediate post-dominators with the
+// Cooper-Harvey-Kennedy algorithm run on the reverse CFG (virtual exit as
+// root) — deliberately a different algorithm from the bitset fixpoint in
+// cfg.go, so the two can cross-check each other. Returns the post-dominating
+// block ID per block, or -1 when the block's only post-dominator is the
+// virtual exit or the block cannot reach exit at all.
+func verifiedIPdom(blocks []Block) []int {
+	n := len(blocks)
+	exit := n
+	exitSlice := []int{exit}
+	fsucc := func(v int) []int {
+		if len(blocks[v].Succ) == 0 {
+			return exitSlice
+		}
+		return blocks[v].Succ
+	}
+
+	// Reverse-graph adjacency: an edge s->v here for every forward edge
+	// v->s. The reverse DFS from exit visits exactly the blocks that can
+	// terminate.
+	radj := make([][]int, n+1)
+	for v := 0; v < n; v++ {
+		for _, s := range fsucc(v) {
+			radj[s] = append(radj[s], v)
+		}
+	}
+
+	po := make([]int, n+1)
+	visited := make([]bool, n+1)
+	order := make([]int, 0, n+1) // postorder of the reverse DFS
+	type frame struct{ v, i int }
+	stack := []frame{{exit, 0}}
+	visited[exit] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.i < len(radj[f.v]) {
+			u := radj[f.v][f.i]
+			f.i++
+			if !visited[u] {
+				visited[u] = true
+				stack = append(stack, frame{u, 0})
+			}
+		} else {
+			po[f.v] = len(order)
+			order = append(order, f.v)
+			stack = stack[:len(stack)-1]
+		}
+	}
+
+	idom := make([]int, n+1)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[exit] = exit
+	intersect := func(a, b int) int {
+		for a != b {
+			for po[a] < po[b] {
+				a = idom[a]
+			}
+			for po[b] < po[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		// Reverse postorder of the reverse graph, skipping the exit root
+		// (last in postorder).
+		for i := len(order) - 2; i >= 0; i-- {
+			v := order[i]
+			newIdom := -1
+			// Predecessors in the reverse graph are forward successors.
+			for _, u := range fsucc(v) {
+				if idom[u] < 0 {
+					continue
+				}
+				if newIdom < 0 {
+					newIdom = u
+				} else {
+					newIdom = intersect(newIdom, u)
+				}
+			}
+			if newIdom >= 0 && idom[v] != newIdom {
+				idom[v] = newIdom
+				changed = true
+			}
+		}
+	}
+
+	out := make([]int, n)
+	for v := 0; v < n; v++ {
+		if !visited[v] || idom[v] < 0 || idom[v] == exit {
+			out[v] = -1
+		} else {
+			out[v] = idom[v]
+		}
+	}
+	return out
+}
+
+// instUses returns the registers an instruction reads.
+func instUses(in isa.Inst) []isa.Reg {
+	var uses []isa.Reg
+	if in.Op.ReadsA() {
+		uses = append(uses, in.SrcA)
+	}
+	if in.Op.ReadsB() && (!in.Op.ReadsA() || in.SrcB != in.SrcA) {
+		uses = append(uses, in.SrcB)
+	}
+	return uses
+}
+
+// instDef returns the architectural register an instruction defines.
+// Writes to the hardwired r0 are discarded by the register file, so they
+// define nothing.
+func instDef(in isa.Inst) (isa.Reg, bool) {
+	if in.Op.WritesDst() && in.Dst != 0 {
+		return in.Dst, true
+	}
+	return 0, false
+}
+
+// checkDefUse runs a forward must-be-defined dataflow analysis (intersection
+// at joins) and flags reads of registers that are not defined on every path
+// from entry. It only runs when the kernel declared its input registers
+// (DeclareInputs/DeclareRegion): without the declared entry state every ABI
+// input would be a false positive.
+func (p *Program) checkDefUse(reach []bool) []Finding {
+	if !p.inputsDeclared {
+		return nil
+	}
+	const abiRegs = 0b1111 // r0 hardwired, r1 tid, r2 nthreads, r3 local idx
+	entry := abiRegs | p.inputs
+	n := len(p.Blocks)
+	full := ^uint32(0)
+	in := make([]uint32, n)
+	for i := range in {
+		in[i] = full
+	}
+	in[0] = entry
+	transfer := func(blk Block, s uint32) uint32 {
+		for pc := blk.Start; pc < blk.End; pc++ {
+			if d, ok := instDef(p.Code[pc]); ok {
+				s |= 1 << d
+			}
+		}
+		return s
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < n; i++ {
+			if !reach[i] {
+				continue
+			}
+			out := transfer(p.Blocks[i], in[i])
+			for _, s := range p.Blocks[i].Succ {
+				if nv := in[s] & out; nv != in[s] {
+					in[s] = nv
+					changed = true
+				}
+			}
+		}
+	}
+	var fs []Finding
+	for i := 0; i < n; i++ {
+		if !reach[i] {
+			continue
+		}
+		s := in[i]
+		for pc := p.Blocks[i].Start; pc < p.Blocks[i].End; pc++ {
+			inst := p.Code[pc]
+			for _, r := range instUses(inst) {
+				if r != 0 && s&(1<<r) == 0 {
+					fs = append(fs, Finding{
+						Check: "def-use", Severity: Err, PC: pc, Block: i,
+						Msg: fmt.Sprintf("r%d may be read before it is defined", r),
+					})
+				}
+			}
+			if d, ok := instDef(inst); ok {
+				s |= 1 << d
+			}
+		}
+	}
+	return fs
+}
+
+// checkDeadDefs runs backward liveness and flags definitions whose value can
+// never be read, plus writes to the hardwired r0. Both are Warn: harmless
+// at runtime, but in a hand-written benchmark they usually mean the kernel
+// does not compute what its author thought.
+func (p *Program) checkDeadDefs(reach []bool) []Finding {
+	n := len(p.Blocks)
+	liveIn := make([]uint32, n)
+	blockLive := func(i int) uint32 {
+		var live uint32
+		for _, s := range p.Blocks[i].Succ {
+			live |= liveIn[s]
+		}
+		return live
+	}
+	stepBack := func(inst isa.Inst, live uint32) uint32 {
+		if d, ok := instDef(inst); ok {
+			live &^= 1 << d
+		}
+		for _, r := range instUses(inst) {
+			live |= 1 << r
+		}
+		return live
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			if !reach[i] {
+				continue
+			}
+			live := blockLive(i)
+			for pc := p.Blocks[i].End - 1; pc >= p.Blocks[i].Start; pc-- {
+				live = stepBack(p.Code[pc], live)
+			}
+			if live != liveIn[i] {
+				liveIn[i] = live
+				changed = true
+			}
+		}
+	}
+	var fs []Finding
+	for i := 0; i < n; i++ {
+		if !reach[i] {
+			continue
+		}
+		live := blockLive(i)
+		for pc := p.Blocks[i].End - 1; pc >= p.Blocks[i].Start; pc-- {
+			inst := p.Code[pc]
+			if inst.Op.WritesDst() {
+				switch {
+				case inst.Dst == 0:
+					fs = append(fs, Finding{
+						Check: "dead-def", Severity: Warn, PC: pc, Block: i,
+						Msg: "write to the hardwired r0 has no effect",
+					})
+				case live&(1<<inst.Dst) == 0:
+					fs = append(fs, Finding{
+						Check: "dead-def", Severity: Warn, PC: pc, Block: i,
+						Msg: fmt.Sprintf("r%d defined here is never read", inst.Dst),
+					})
+				}
+			}
+			live = stepBack(inst, live)
+		}
+	}
+	return fs
+}
+
+// varyingSets computes, per basic block, the set of registers whose value
+// may differ across the threads of a warp at block entry (a forward
+// may-analysis with union joins). The launch ABI makes r1 (global tid) and
+// r3 (local index) varying; loads are conservatively varying because they
+// depend on a possibly-varying address and on memory contents.
+func (p *Program) varyingSets(reach []bool) []uint32 {
+	n := len(p.Blocks)
+	vin := make([]uint32, n)
+	vin[0] = 1<<1 | 1<<3
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < n; i++ {
+			if !reach[i] {
+				continue
+			}
+			v := vin[i]
+			for pc := p.Blocks[i].Start; pc < p.Blocks[i].End; pc++ {
+				v = stepVarying(p.Code[pc], v)
+			}
+			for _, s := range p.Blocks[i].Succ {
+				if nv := vin[s] | v; nv != vin[s] {
+					vin[s] = nv
+					changed = true
+				}
+			}
+		}
+	}
+	return vin
+}
+
+func stepVarying(in isa.Inst, v uint32) uint32 {
+	if !in.Op.WritesDst() || in.Dst == 0 {
+		return v
+	}
+	varying := in.Op == isa.LD ||
+		(in.Op.ReadsA() && v&(1<<in.SrcA) != 0) ||
+		(in.Op.ReadsB() && v&(1<<in.SrcB) != 0)
+	if varying {
+		return v | 1<<in.Dst
+	}
+	return v &^ (1 << in.Dst)
+}
+
+// checkBarriers flags barriers reachable between a potentially divergent
+// branch and that branch's re-convergence point — the deadlock DWS must
+// never create (§3.4): if the warp splits at the branch, only some lanes
+// arrive at the barrier while the rest wait beyond it. The divergence taint
+// cannot see warp-uniform tid predicates (e.g. a branch every lane of a warp
+// takes the same way), so the finding is Warn, not Err.
+func (p *Program) checkBarriers(reach []bool) []Finding {
+	hasBarrier := false
+	for _, in := range p.Code {
+		if in.Op == isa.BARRIER {
+			hasBarrier = true
+			break
+		}
+	}
+	if !hasBarrier {
+		return nil
+	}
+	varying := p.varyingSets(reach)
+	blockOf := p.blockOf()
+	// flagged[barrier pc] -> lowest divergent branch pc that reaches it.
+	flagged := make(map[int]int)
+	for pc, in := range p.Code {
+		if !in.Op.IsBranch() {
+			continue
+		}
+		b := blockOf[pc]
+		if !reach[b] || len(p.Blocks[b].Succ) < 2 {
+			continue
+		}
+		v := varying[b]
+		for q := p.Blocks[b].Start; q < pc; q++ {
+			v = stepVarying(p.Code[q], v)
+		}
+		if v&(1<<in.SrcA) == 0 {
+			continue // warp-uniform predicate
+		}
+		// Blocks reachable from the branch before its re-convergence point.
+		stopBlock := -1
+		if bi, ok := p.branches[pc]; ok && bi.IPdom != NoIPdom {
+			stopBlock = blockOf[bi.IPdom]
+		}
+		region := make([]bool, len(p.Blocks))
+		stack := append([]int(nil), p.Blocks[b].Succ...)
+		for len(stack) > 0 {
+			w := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if w == stopBlock || region[w] {
+				continue
+			}
+			region[w] = true
+			stack = append(stack, p.Blocks[w].Succ...)
+		}
+		for q, in2 := range p.Code {
+			if in2.Op != isa.BARRIER || !region[blockOf[q]] {
+				continue
+			}
+			if _, dup := flagged[q]; !dup {
+				flagged[q] = pc
+			}
+		}
+	}
+	var fs []Finding
+	pcs := make([]int, 0, len(flagged))
+	for q := range flagged {
+		pcs = append(pcs, q)
+	}
+	sort.Ints(pcs)
+	for _, q := range pcs {
+		fs = append(fs, Finding{
+			Check: "barrier-divergence", Severity: Warn, PC: q, Block: blockOf[q],
+			Msg: fmt.Sprintf("barrier reachable under potentially divergent branch @pc %d before re-convergence: a warp whose lanes disagree there deadlocks here", flagged[q]),
+		})
+	}
+	return fs
+}
+
+// affine is the abstract value of the bounds checker: region base (or none)
+// plus c0 + ct*tid, where tid ranges over [0, DeclareThreads).
+type affine struct {
+	known  bool
+	region int // index into p.regions, or -1
+	c0, ct int64
+}
+
+const affLimit = int64(1) << 40
+
+func affConst(c int64) affine { return affine{known: true, region: -1, c0: c} }
+
+func affJoin(a, b affine) affine {
+	if a.known && b.known && a == b {
+		return a
+	}
+	return affine{}
+}
+
+func affClamp(a affine) affine {
+	if !a.known || a.c0 > affLimit || a.c0 < -affLimit || a.ct > affLimit || a.ct < -affLimit {
+		return affine{}
+	}
+	return a
+}
+
+// checkBounds abstractly interprets the kernel over the affine domain and
+// flags loads/stores whose effective address provably falls outside the
+// declared memory region for every launch of up to DeclareThreads threads.
+// It only fires where the address is affine in the thread id with constant
+// coefficients; anything data-dependent is left to the functional checks.
+func (p *Program) checkBounds(reach []bool) []Finding {
+	if len(p.regions) == 0 {
+		return nil
+	}
+	n := len(p.Blocks)
+	type state = [isa.NumRegs]affine
+	var entry state
+	entry[0] = affConst(0)
+	entry[1] = affine{known: true, region: -1, ct: 1} // tid
+	for i, r := range p.regions {
+		entry[r.Reg] = affine{known: true, region: i}
+	}
+	sin := make([]state, n)
+	seen := make([]bool, n)
+	sin[0] = entry
+	seen[0] = true
+	step := func(in isa.Inst, s *state) {
+		if !in.Op.WritesDst() || in.Dst == 0 {
+			return
+		}
+		a := s[in.SrcA]
+		b := s[in.SrcB]
+		var out affine
+		switch in.Op {
+		case isa.MOVI:
+			out = affConst(in.Imm)
+		case isa.MOV:
+			out = a
+		case isa.ADD:
+			if a.known && b.known && (a.region < 0 || b.region < 0) {
+				out = affine{known: true, region: max(a.region, b.region), c0: a.c0 + b.c0, ct: a.ct + b.ct}
+			}
+		case isa.SUB:
+			if a.known && b.known && b.region < 0 {
+				out = affine{known: true, region: a.region, c0: a.c0 - b.c0, ct: a.ct - b.ct}
+			}
+		case isa.ADDI:
+			if a.known {
+				out = affine{known: true, region: a.region, c0: a.c0 + in.Imm, ct: a.ct}
+			}
+		case isa.MULI:
+			if a.known && a.region < 0 {
+				out = affine{known: true, region: -1, c0: a.c0 * in.Imm, ct: a.ct * in.Imm}
+			}
+		case isa.SHLI:
+			if a.known && a.region < 0 && in.Imm >= 0 && in.Imm < 32 {
+				k := int64(1) << in.Imm
+				out = affine{known: true, region: -1, c0: a.c0 * k, ct: a.ct * k}
+			}
+		}
+		s[in.Dst] = affClamp(out)
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < n; i++ {
+			if !reach[i] || !seen[i] {
+				continue
+			}
+			s := sin[i]
+			for pc := p.Blocks[i].Start; pc < p.Blocks[i].End; pc++ {
+				step(p.Code[pc], &s)
+			}
+			for _, su := range p.Blocks[i].Succ {
+				if !seen[su] {
+					sin[su] = s
+					seen[su] = true
+					changed = true
+					continue
+				}
+				joined := sin[su]
+				for r := range joined {
+					joined[r] = affJoin(joined[r], s[r])
+				}
+				if joined != sin[su] {
+					sin[su] = joined
+					changed = true
+				}
+			}
+		}
+	}
+	var fs []Finding
+	for i := 0; i < n; i++ {
+		if !reach[i] || !seen[i] {
+			continue
+		}
+		s := sin[i]
+		for pc := p.Blocks[i].Start; pc < p.Blocks[i].End; pc++ {
+			inst := p.Code[pc]
+			if inst.Op.IsMem() {
+				if f, bad := p.boundsAt(pc, i, s[inst.SrcA], inst.Imm); bad {
+					fs = append(fs, f)
+				}
+			}
+			step(inst, &s)
+		}
+	}
+	return fs
+}
+
+func (p *Program) boundsAt(pc, blk int, a affine, imm int64) (Finding, bool) {
+	if !a.known || a.region < 0 {
+		return Finding{}, false
+	}
+	if a.ct != 0 && p.maxThreads <= 0 {
+		return Finding{}, false // thread count undeclared: range unbounded
+	}
+	off := a.c0 + imm
+	lo, hi := off, off
+	if a.ct != 0 {
+		span := a.ct * int64(p.maxThreads-1)
+		if span < 0 {
+			lo += span
+		} else {
+			hi += span
+		}
+	}
+	size := p.regions[a.region].Words * isa.WordSize
+	if lo >= 0 && hi+isa.WordSize <= size {
+		return Finding{}, false
+	}
+	return Finding{
+		Check: "mem-bounds", Severity: Err, PC: pc, Block: blk,
+		Msg: fmt.Sprintf("access offset range [%d,%d] exceeds region r%d (%d bytes, %d words)",
+			lo, hi+isa.WordSize-1, p.regions[a.region].Reg, size, p.regions[a.region].Words),
+	}, true
+}

@@ -19,8 +19,14 @@ const fftN = 2048
 
 // fftBitrevKernel ABI: R4=&srcRe, R5=&srcIm, R6=&dstRe, R7=&dstIm, R8=n,
 // R9=log2(n).
-func fftBitrevKernel() *program.Program {
+func fftBitrevKernel(n, maxThreads int) *program.Program {
 	b := program.NewBuilder("fft-bitrev")
+	b.DeclareRegion(4, int64(n))
+	b.DeclareRegion(5, int64(n))
+	b.DeclareRegion(6, int64(n))
+	b.DeclareRegion(7, int64(n))
+	b.DeclareInputs(8, 9)
+	b.DeclareThreads(maxThreads)
 	b.Mov(10, 1) // i = tid
 	b.Label("loop")
 	b.Slt(11, 10, 8)
@@ -51,13 +57,19 @@ func fftBitrevKernel() *program.Program {
 	b.Jmp("loop")
 	b.Label("done")
 	b.Halt()
-	return b.MustBuild()
+	return b.MustVerify()
 }
 
 // fftStageKernel ABI: R4=&re, R5=&im, R6=&twRe, R7=&twIm, R9=m (2^stage),
 // R10=half (m/2), R11=twiddleStride (n/m), R12=numButterflies (n/2).
-func fftStageKernel() *program.Program {
+func fftStageKernel(n, maxThreads int) *program.Program {
 	b := program.NewBuilder("fft-stage")
+	b.DeclareRegion(4, int64(n))
+	b.DeclareRegion(5, int64(n))
+	b.DeclareRegion(6, int64(n/2))
+	b.DeclareRegion(7, int64(n/2))
+	b.DeclareInputs(9, 10, 11, 12)
+	b.DeclareThreads(maxThreads)
 	b.Mov(13, 1) // b = tid
 	b.Label("loop")
 	b.Slt(14, 13, 12)
@@ -106,7 +118,7 @@ func fftStageKernel() *program.Program {
 	b.Jmp("loop")
 	b.Label("done")
 	b.Halt()
-	return b.MustBuild()
+	return b.MustVerify()
 }
 
 // buildFFT prepares the FFT benchmark at n = 2048·scale points.
@@ -143,7 +155,7 @@ func buildFFT(sys *sim.System, scale int) (*Instance, error) {
 	}
 
 	var steps []Step
-	steps = append(steps, launch(fftBitrevKernel(), threadsFor(sys, n), func(tid int, r *isa.RegFile) {
+	steps = append(steps, launch(fftBitrevKernel(n, threadsFor(sys, n)), threadsFor(sys, n), func(tid int, r *isa.RegFile) {
 		r.Set(4, int64(srcRe))
 		r.Set(5, int64(srcIm))
 		r.Set(6, int64(re))
@@ -151,7 +163,7 @@ func buildFFT(sys *sim.System, scale int) (*Instance, error) {
 		r.Set(8, int64(n))
 		r.Set(9, int64(logN))
 	}))
-	stage := fftStageKernel()
+	stage := fftStageKernel(n, threadsFor(sys, n/2))
 	for s := 1; s <= logN; s++ {
 		mm := 1 << s
 		steps = append(steps, launch(stage, threadsFor(sys, n/2), func(tid int, r *isa.RegFile) {

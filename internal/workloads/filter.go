@@ -20,9 +20,13 @@ const (
 
 // filterKernel ABI: R4=&in, R5=&out, R7=interiorW, R8=interiorCount.
 // The image width is baked into the load offsets like a compiler would.
-func filterKernel(width int) *program.Program {
+func filterKernel(width, height, maxThreads int) *program.Program {
 	b := program.NewBuilder("filter")
 	w := int64(width)
+	b.DeclareRegion(4, w*int64(height))
+	b.DeclareRegion(5, w*int64(height))
+	b.DeclareInputs(7, 8)
+	b.DeclareThreads(maxThreads)
 	b.Mov(9, 1) // p = tid
 	b.Label("loop")
 	b.Slt(10, 9, 8)
@@ -63,7 +67,7 @@ func filterKernel(width int) *program.Program {
 	b.Jmp("loop")
 	b.Label("done")
 	b.Halt()
-	return b.MustBuild()
+	return b.MustVerify()
 }
 
 // buildFilter prepares the Filter benchmark; scale multiplies the image
@@ -85,8 +89,8 @@ func buildFilter(sys *sim.System, scale int) (*Instance, error) {
 
 	iw := w - 2
 	count := iw * (h - 2)
-	p := filterKernel(w)
 	nt := threadsFor(sys, count)
+	p := filterKernel(w, h, nt)
 	step := launch(p, nt, func(tid int, r *isa.RegFile) {
 		r.Set(4, int64(in))
 		r.Set(5, int64(out))

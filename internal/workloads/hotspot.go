@@ -22,9 +22,15 @@ const (
 )
 
 // hotspotKernel ABI: R4=&src, R5=&dst, R6=&power, R8=count (W*H).
-func hotspotKernel(width, height int) *program.Program {
+func hotspotKernel(width, height, maxThreads int) *program.Program {
 	b := program.NewBuilder("hotspot")
 	w := int64(width)
+	cells := w * int64(height)
+	b.DeclareRegion(4, cells)
+	b.DeclareRegion(5, cells)
+	b.DeclareRegion(6, cells)
+	b.DeclareInputs(8)
+	b.DeclareThreads(maxThreads)
 	b.Mov(10, 1) // cell = tid
 	b.Label("loop")
 	b.Slt(11, 10, 8)
@@ -72,7 +78,7 @@ func hotspotKernel(width, height int) *program.Program {
 	b.Jmp("loop")
 	b.Label("done")
 	b.Halt()
-	return b.MustBuild()
+	return b.MustVerify()
 }
 
 // buildHotSpot prepares the HotSpot benchmark; scale multiplies the grid
@@ -95,8 +101,8 @@ func buildHotSpot(sys *sim.System, scale int) (*Instance, error) {
 		m.WriteF(power+uint64(i)*8, pw[i])
 	}
 
-	p := hotspotKernel(w, h)
 	nt := threadsFor(sys, n)
+	p := hotspotKernel(w, h, nt)
 	var steps []Step
 	src, dst := bufA, bufB
 	for it := 0; it < hotspotIters; it++ {

@@ -26,8 +26,13 @@ const (
 )
 
 // kmeansAssignKernel ABI: R4=&x, R5=&cent, R6=&assign, R7=P, R8=K, R9=D.
-func kmeansAssignKernel() *program.Program {
+func kmeansAssignKernel(p, k, d, maxThreads int) *program.Program {
 	b := program.NewBuilder("kmeans-assign")
+	b.DeclareRegion(4, int64(p*d))
+	b.DeclareRegion(5, int64(k*d))
+	b.DeclareRegion(6, int64(p))
+	b.DeclareInputs(7, 8, 9)
+	b.DeclareThreads(maxThreads)
 	b.Mov(10, 1) // p = tid
 	b.Label("ploop")
 	b.Slt(11, 10, 7)
@@ -75,16 +80,22 @@ func kmeansAssignKernel() *program.Program {
 	b.Jmp("ploop")
 	b.Label("pdone")
 	b.Halt()
-	return b.MustBuild()
+	return b.MustVerify()
 }
 
 // kmeansUpdateKernel: one thread per (cluster, chunk) accumulates the
 // D-dimensional partial sum of its chunk's members in registers.
 // ABI: R4=&x, R5=&assign, R6=&psums (K·Chunks·D), R7=&pcounts (K·Chunks),
 // R9=D, R10=K·Chunks, R11=Chunks, R12=chunkSize.
-func kmeansUpdateKernel() *program.Program {
+func kmeansUpdateKernel(p, k, ch, maxThreads int) *program.Program {
 	b := program.NewBuilder("kmeans-update")
 	d := kmeansD
+	b.DeclareRegion(4, int64(p*d))
+	b.DeclareRegion(5, int64(p))
+	b.DeclareRegion(6, int64(k*ch*d))
+	b.DeclareRegion(7, int64(k*ch))
+	b.DeclareInputs(9, 10, 11, 12)
+	b.DeclareThreads(maxThreads)
 	b.Mov(13, 1) // t = tid
 	b.Label("loop")
 	b.Slt(14, 13, 10)
@@ -130,14 +141,20 @@ func kmeansUpdateKernel() *program.Program {
 	b.Jmp("loop")
 	b.Label("done")
 	b.Halt()
-	return b.MustBuild()
+	return b.MustVerify()
 }
 
 // kmeansReduceKernel folds the per-chunk partials: one thread per (k, d).
 // ABI: R4=&psums, R5=&pcounts, R6=&sums, R7=&counts, R8=K·D, R9=D,
 // R10=Chunks.
-func kmeansReduceKernel() *program.Program {
+func kmeansReduceKernel(k, d, ch, maxThreads int) *program.Program {
 	b := program.NewBuilder("kmeans-reduce")
+	b.DeclareRegion(4, int64(k*ch*d))
+	b.DeclareRegion(5, int64(k*ch))
+	b.DeclareRegion(6, int64(k*d))
+	b.DeclareRegion(7, int64(k))
+	b.DeclareInputs(8, 9, 10)
+	b.DeclareThreads(maxThreads)
 	b.Mov(11, 1)
 	b.Label("loop")
 	b.Slt(12, 11, 8)
@@ -179,12 +196,17 @@ func kmeansReduceKernel() *program.Program {
 	b.Jmp("loop")
 	b.Label("done")
 	b.Halt()
-	return b.MustBuild()
+	return b.MustVerify()
 }
 
 // kmeansFinalizeKernel ABI: R4=&cent, R5=&sums, R6=&counts, R7=K·D, R8=D.
-func kmeansFinalizeKernel() *program.Program {
+func kmeansFinalizeKernel(k, d, maxThreads int) *program.Program {
 	b := program.NewBuilder("kmeans-finalize")
+	b.DeclareRegion(4, int64(k*d))
+	b.DeclareRegion(5, int64(k*d))
+	b.DeclareRegion(6, int64(k))
+	b.DeclareInputs(7, 8)
+	b.DeclareThreads(maxThreads)
 	b.Mov(9, 1)
 	b.Label("loop")
 	b.Slt(10, 9, 7)
@@ -206,7 +228,7 @@ func kmeansFinalizeKernel() *program.Program {
 	b.Jmp("loop")
 	b.Label("done")
 	b.Halt()
-	return b.MustBuild()
+	return b.MustVerify()
 }
 
 // buildKMeans prepares the KMeans benchmark at 4096·scale points.
@@ -238,10 +260,10 @@ func buildKMeans(sys *sim.System, scale int) (*Instance, error) {
 		}
 	}
 
-	aK := kmeansAssignKernel()
-	uK := kmeansUpdateKernel()
-	rK := kmeansReduceKernel()
-	fK := kmeansFinalizeKernel()
+	aK := kmeansAssignKernel(p, k, d, threadsFor(sys, p))
+	uK := kmeansUpdateKernel(p, k, ch, threadsFor(sys, k*ch))
+	rK := kmeansReduceKernel(k, d, ch, threadsFor(sys, k*d))
+	fK := kmeansFinalizeKernel(k, d, threadsFor(sys, k*d))
 	var steps []Step
 	for it := 0; it < kmeansIters; it++ {
 		steps = append(steps,

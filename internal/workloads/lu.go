@@ -18,8 +18,11 @@ const luN = 72
 
 // luScaleKernel ABI: R4=&A, R5=N, R6=k. Threads stride over rows i>k:
 // A[i][k] /= A[k][k].
-func luScaleKernel() *program.Program {
+func luScaleKernel(n, maxThreads int) *program.Program {
 	b := program.NewBuilder("lu-scale")
+	b.DeclareRegion(4, int64(n)*int64(n))
+	b.DeclareInputs(5, 6)
+	b.DeclareThreads(maxThreads)
 	b.Addi(8, 6, 1)
 	b.Add(8, 8, 1) // i = k+1+tid
 	b.Mul(9, 6, 5)
@@ -41,13 +44,16 @@ func luScaleKernel() *program.Program {
 	b.Jmp("loop")
 	b.Label("done")
 	b.Halt()
-	return b.MustBuild()
+	return b.MustVerify()
 }
 
 // luUpdateKernel ABI: R4=&A, R5=N, R6=k, R7=span (N-k-1), R8=span².
 // Threads stride over the trailing submatrix: A[i][j] -= A[i][k]*A[k][j].
-func luUpdateKernel() *program.Program {
+func luUpdateKernel(n, maxThreads int) *program.Program {
 	b := program.NewBuilder("lu-update")
+	b.DeclareRegion(4, int64(n)*int64(n))
+	b.DeclareInputs(5, 6, 7, 8)
+	b.DeclareThreads(maxThreads)
 	b.Mov(9, 1) // m = tid
 	b.Label("loop")
 	b.Slt(10, 9, 8)
@@ -78,7 +84,7 @@ func luUpdateKernel() *program.Program {
 	b.Jmp("loop")
 	b.Label("done")
 	b.Halt()
-	return b.MustBuild()
+	return b.MustVerify()
 }
 
 // buildLU prepares the LU benchmark; the matrix side grows by √scale so
@@ -100,8 +106,10 @@ func buildLU(sys *sim.System, scale int) (*Instance, error) {
 		}
 	}
 
-	scaleK := luScaleKernel()
-	update := luUpdateKernel()
+	// The first elimination step launches the most threads; declare that as
+	// the kernels' thread bound.
+	scaleK := luScaleKernel(n, threadsFor(sys, n-1))
+	update := luUpdateKernel(n, threadsFor(sys, (n-1)*(n-1)))
 	var steps []Step
 	for k := 0; k < n-1; k++ {
 		kk := k

@@ -20,8 +20,11 @@ const mergeN = 4096
 
 // mergeKernel performs one bitonic substage. ABI: R4=&a, R6=n, R7=j
 // (partner stride), R8=k (direction block size).
-func mergeKernel() *program.Program {
+func mergeKernel(n, maxThreads int) *program.Program {
 	b := program.NewBuilder("merge-bitonic")
+	b.DeclareRegion(4, 3*int64(n)) // 24-byte records
+	b.DeclareInputs(6, 7, 8)
+	b.DeclareThreads(maxThreads)
 	b.Mov(9, 1) // idx = tid
 	b.Label("loop")
 	b.Slt(10, 9, 6)
@@ -51,7 +54,7 @@ func mergeKernel() *program.Program {
 	b.Jmp("loop")
 	b.Label("done")
 	b.Halt()
-	return b.MustBuild()
+	return b.MustVerify()
 }
 
 // buildMerge prepares the Merge benchmark at 4096·scale records (scale
@@ -73,8 +76,8 @@ func buildMerge(sys *sim.System, scale int) (*Instance, error) {
 		m.Write(a+uint64(i)*24+8, int64(i)) // payload: original position
 	}
 
-	p := mergeKernel()
 	nt := threadsFor(sys, n)
+	p := mergeKernel(n, nt)
 	var steps []Step
 	for k := 2; k <= n; k *= 2 {
 		for j := k / 2; j >= 1; j /= 2 {

@@ -23,8 +23,12 @@ const (
 )
 
 // shortKernel ABI: R4=&prev, R5=&next, R6=choices, R7=step.
-func shortKernel() *program.Program {
+func shortKernel(choices, maxThreads int) *program.Program {
 	b := program.NewBuilder("short")
+	b.DeclareRegion(4, int64(choices))
+	b.DeclareRegion(5, int64(choices))
+	b.DeclareInputs(6, 7)
+	b.DeclareThreads(maxThreads)
 	b.Mov(8, 1) // j = tid
 	b.Label("loop")
 	b.Slt(9, 8, 6)
@@ -72,7 +76,7 @@ func shortKernel() *program.Program {
 	b.Jmp("loop")
 	b.Label("done")
 	b.Halt()
-	return b.MustBuild()
+	return b.MustVerify()
 }
 
 func shortCost(step, j, k int) int64 {
@@ -92,8 +96,8 @@ func buildShort(sys *sim.System, scale int) (*Instance, error) {
 		m.Write(rowA+uint64(j)*8, init[j])
 	}
 
-	p := shortKernel()
 	nt := threadsFor(sys, c)
+	p := shortKernel(c, nt)
 	var steps []Step
 	src, dst := rowA, rowB
 	for s := 0; s < shortSteps; s++ {

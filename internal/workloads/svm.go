@@ -23,8 +23,12 @@ const (
 )
 
 // svmKernel ABI: R4=&x, R5=&out, R6=N, R7=D, R8=N*Band, R9=Band.
-func svmKernel() *program.Program {
+func svmKernel(n, d, band, maxThreads int) *program.Program {
 	b := program.NewBuilder("svm")
+	b.DeclareRegion(4, int64(n*d))
+	b.DeclareRegion(5, int64(n*band))
+	b.DeclareInputs(6, 7, 8, 9)
+	b.DeclareThreads(maxThreads)
 	b.Mov(10, 1) // pair = tid
 	b.Label("loop")
 	b.Slt(11, 10, 8)
@@ -69,7 +73,7 @@ func svmKernel() *program.Program {
 	b.Jmp("loop")
 	b.Label("done")
 	b.Halt()
-	return b.MustBuild()
+	return b.MustVerify()
 }
 
 // buildSVM prepares the SVM benchmark at 384·scale vectors.
@@ -88,8 +92,8 @@ func buildSVM(sys *sim.System, scale int) (*Instance, error) {
 		}
 	}
 
-	p := svmKernel()
 	nt := threadsFor(sys, n*band)
+	p := svmKernel(n, d, band, nt)
 	step := launch(p, nt, func(tid int, r *isa.RegFile) {
 		r.Set(4, int64(x))
 		r.Set(5, int64(out))

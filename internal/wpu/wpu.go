@@ -148,6 +148,12 @@ func (w *WPU) Launch(prog *program.Program, regs []isa.RegFile) error {
 	if len(regs) > w.ThreadCapacity() {
 		return fmt.Errorf("wpu %d: %d threads exceed capacity %d", w.ID, len(regs), w.ThreadCapacity())
 	}
+	if !prog.Verified() {
+		// The re-convergence stack and WST trust the program's branch
+		// metadata; only programs that passed the static verifier (every
+		// path through program.Build) are safe to run.
+		return fmt.Errorf("wpu %d: program %q has not passed the static verifier", w.ID, prog.Name)
+	}
 	w.prog = prog
 	if w.progBases == nil {
 		w.progBases = make(map[*program.Program]int)
@@ -641,6 +647,13 @@ func (w *WPU) execBranch(s *Split, in isa.Inst) {
 
 	w.Stats.DivBranch++
 	bi, _ := w.prog.Branch(s.pc)
+	// Re-convergence comes from the verified table (recomputed by the
+	// verifier's independent post-dominator pass), not the builder-side
+	// BranchInfo it was cross-checked against.
+	reconvPC, ok := w.prog.ReconvPC(s.pc)
+	if !ok {
+		reconvPC = program.NoIPdom
+	}
 
 	subdivide := false
 	switch {
@@ -667,10 +680,10 @@ func (w *WPU) execBranch(s *Split, in isa.Inst) {
 
 	// Conventional re-convergence stack (Fung et al.): serialise the paths.
 	parent := s.tos()
-	parent.PC = bi.IPdom
+	parent.PC = reconvPC
 	s.stack = append(s.stack,
-		StackEntry{ReconvPC: bi.IPdom, PC: s.pc + 1, Mask: notTaken},
-		StackEntry{ReconvPC: bi.IPdom, PC: in.Target, Mask: taken},
+		StackEntry{ReconvPC: reconvPC, PC: s.pc + 1, Mask: notTaken},
+		StackEntry{ReconvPC: reconvPC, PC: in.Target, Mask: taken},
 	)
 	s.pc = in.Target
 	s.mask = taken
