@@ -16,7 +16,7 @@ dwslint:
 	$(GO) run ./cmd/dwslint ./internal
 
 dwsverify:
-	$(GO) run ./cmd/dwsverify
+	$(GO) run ./cmd/dwsverify -divergence
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

@@ -17,7 +17,9 @@
 //     pool, whose merge order is deterministic.
 //
 // A finding can be suppressed with a trailing or preceding comment
-// directive `//dwslint:ignore <reason>`; the reason is mandatory.
+// directive `//dwslint:ignore <reason>`; the reason is mandatory, and a
+// directive that no longer suppresses any diagnostic is itself reported
+// as stale.
 //
 // Typechecking uses a permissive importer that resolves every import to an
 // empty package: under the module build we have no export data for
@@ -404,9 +406,16 @@ func (w *walker) checkGoroutine(g *ast.GoStmt) {
 }
 
 // applyIgnores drops findings suppressed by a `//dwslint:ignore reason`
-// directive on the same line or the line above, and reports directives
-// lacking a reason.
+// directive on the same line or the line above. Directives themselves are
+// checked both ways: one lacking a reason is reported, and so is a
+// reasoned one that suppresses nothing — a stale suppression would
+// otherwise silently swallow the next diagnostic introduced nearby.
 func (w *walker) applyIgnores() []Finding {
+	type directive struct {
+		pos  token.Pos
+		line int
+	}
+	var directives []directive
 	suppressed := map[int]bool{}
 	for _, cg := range w.file.Comments {
 		for _, c := range cg.List {
@@ -421,19 +430,25 @@ func (w *walker) applyIgnores() []Finding {
 				w.add(c.Pos(), "directive", "dwslint:ignore requires a reason")
 				continue
 			}
+			directives = append(directives, directive{c.Pos(), line})
 			suppressed[line] = true
 			suppressed[line+1] = true
 		}
 	}
-	if len(suppressed) == 0 {
-		return w.findings
-	}
+	used := map[int]bool{} // finding lines whose suppression fired
 	kept := w.findings[:0]
 	for _, f := range w.findings {
 		if f.Check != "directive" && suppressed[f.Pos.Line] {
+			used[f.Pos.Line] = true
 			continue
 		}
 		kept = append(kept, f)
 	}
-	return kept
+	w.findings = kept
+	for _, d := range directives {
+		if !used[d.line] && !used[d.line+1] {
+			w.add(d.pos, "directive", "dwslint:ignore suppresses no diagnostic: stale directive (remove it)")
+		}
+	}
+	return w.findings
 }

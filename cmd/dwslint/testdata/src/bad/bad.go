@@ -46,3 +46,8 @@ func emptyReason() {
 	//dwslint:ignore
 	_ = time.Now() // want wallclock -- a reasonless directive suppresses nothing
 }
+
+func staleSuppression() int {
+	//dwslint:ignore leftover from a removed time.Now call // want directive
+	return 2 + 2
+}

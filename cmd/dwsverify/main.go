@@ -9,6 +9,7 @@
 //	dwsverify -bench Merge    # one benchmark
 //	dwsverify -scale 4        # verify at a scaled input size
 //	dwsverify -disasm         # also print each kernel's disassembly
+//	dwsverify -divergence     # also print each kernel's divergence report
 //
 // Exit status 1 when any kernel fails to build or has verifier findings.
 package main
@@ -29,6 +30,7 @@ func main() {
 		benchName = flag.String("bench", "all", "benchmark: FFT, Filter, HotSpot, LU, Merge, Short, KMeans, SVM, or 'all'")
 		scale     = flag.Int("scale", 1, "input-size multiplier (power of two; see workloads.AllWithScale)")
 		showDis   = flag.Bool("disasm", false, "print each kernel's disassembly with block and branch metadata")
+		showDiv   = flag.Bool("divergence", false, "print each kernel's divergence-analysis report (branch and access classes)")
 	)
 	flag.Parse()
 
@@ -70,6 +72,9 @@ func main() {
 			}
 			if *showDis {
 				fmt.Print(p.Disassemble())
+			}
+			if *showDiv {
+				fmt.Print(p.DivergenceReport())
 			}
 		}
 	}

@@ -41,6 +41,9 @@ const (
 	EvDRAMFetch     // DRAM line fetch
 	EvDRAMWriteback // DRAM writeback of a dirty line
 
+	// Front-end events.
+	EvBranchDiverge // conditional branch whose lanes disagreed (Mask/Mask2 = taken/not-taken)
+
 	numEventKinds
 )
 
@@ -60,6 +63,7 @@ var eventKindNames = [numEventKinds]string{
 	EvL2Miss:        "l2-miss",
 	EvDRAMFetch:     "dram-fetch",
 	EvDRAMWriteback: "dram-writeback",
+	EvBranchDiverge: "branch-diverge",
 }
 
 func (k EventKind) String() string {

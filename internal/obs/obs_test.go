@@ -41,6 +41,7 @@ func synthetic() *Trace {
 		{EvL2Miss, 1, -1, -1, 0, 0, 0x1a80},
 		{EvDRAMFetch, -1, -1, -1, 0, 0, 0x1a80},
 		{EvDRAMWriteback, -1, -1, -1, 0, 0, 0x0c00},
+		{EvBranchDiverge, 0, 1, 12, 0x00ff, 0xff00, 0},
 	}
 	for i, e := range kinds {
 		t.Emit(Event{Cycle: uint64(10 * (i + 1)), Kind: e.k, Unit: e.unit,

@@ -31,9 +31,17 @@ type BranchInfo struct {
 	// post-dominator — the conventional re-convergence point. NoIPdom means
 	// the paths only re-join at kernel termination.
 	IPdom int
-	// Subdividable reports whether the static heuristic allows dynamic warp
-	// subdivision at this branch.
+	// Subdividable reports whether static analysis allows dynamic warp
+	// subdivision at this branch: the predicate must be divergence-capable
+	// (Class != ClassUniform) and the join block short (§4.3).
 	Subdividable bool
+	// Class is the divergence analysis verdict on the branch predicate
+	// (see dataflow.go).
+	Class Class
+	// Uniform reports a statically proven warp-uniform predicate: every
+	// co-executing lane takes the branch the same way, so the WPU front
+	// end may evaluate one lane and skip re-convergence bookkeeping.
+	Uniform bool
 }
 
 // NoIPdom marks a branch whose divergent paths re-converge only at kernel
@@ -81,7 +89,22 @@ type Program struct {
 	maxThreads     int
 	shortLimit     int
 
+	// accesses is the divergence analysis verdict per load/store, in pc
+	// order (see dataflow.go).
+	accesses []AccessInfo
+
+	// uniformBranch[pc] mirrors BranchInfo.Uniform as a dense slice: the
+	// WPU queries it on every executed branch, so the fast-path test must
+	// not cost a map lookup.
+	uniformBranch []bool
+
 	verified bool
+}
+
+// UniformBranch reports whether the branch at pc was proved uniform by
+// the divergence analysis (constant time; hot path of the WPU front end).
+func (p *Program) UniformBranch(pc int) bool {
+	return pc >= 0 && pc < len(p.uniformBranch) && p.uniformBranch[pc]
 }
 
 // Branch returns the metadata for the conditional branch at pc.
@@ -129,6 +152,7 @@ func (p *Program) Disassemble() string {
 			} else {
 				fmt.Fprintf(&sb, "\t; ipdom=@%d", bi.IPdom)
 			}
+			fmt.Fprintf(&sb, " %s", bi.Class)
 			if bi.Subdividable {
 				sb.WriteString(" subdividable")
 			}
@@ -457,6 +481,32 @@ func (b *Builder) Build() (*Program, error) {
 	p.regions = append([]RegionDecl(nil), b.regions...)
 	p.maxThreads = b.maxThreads
 	p.shortLimit = limit
+
+	// Divergence analysis (dataflow.go) refines the §4.3 selection: a
+	// branch whose predicate is provably warp-uniform can never split a
+	// warp, so it is excluded from subdivision however short its join
+	// block, and the WPU front end gets to skip its re-convergence
+	// bookkeeping entirely (BranchInfo.Uniform).
+	div := p.analyzeDivergence(p.reachableBlocks())
+	p.uniformBranch = make([]bool, len(code))
+	for pc, in := range code {
+		if !in.Op.IsBranch() {
+			continue
+		}
+		bi := p.branches[pc]
+		bi.Class = ClassDivergent
+		if c, ok := div.branchClass[pc]; ok {
+			bi.Class = c
+		}
+		bi.Uniform = bi.Class == ClassUniform
+		bi.Subdividable = bi.Subdividable && !bi.Uniform
+		p.branches[pc] = bi
+		p.uniformBranch[pc] = bi.Uniform
+	}
+	p.accesses = make([]AccessInfo, 0, len(div.accesses))
+	for _, a := range div.accesses {
+		p.accesses = append(p.accesses, AccessInfo{PC: a.pc, Store: a.store, Class: a.val.class()})
+	}
 
 	findings := p.Verify()
 	var errs []Finding

@@ -303,8 +303,8 @@ func TestDataDependentBranchInsideLoop(t *testing.T) {
 	b.Label("head")
 	b.Slt(5, 4, 2)
 	b.Beqz(5, "exit") // pc 2: loop exit
-	b.Andi(6, 4, 1)
-	b.Bnez(6, "odd") // pc 4: divergent if
+	b.And(6, 4, 1)    // parity of iteration count + tid: genuinely divergent
+	b.Bnez(6, "odd")  // pc 4: divergent if
 	b.Addi(7, 7, 1)
 	b.Jmp("join")
 	b.Label("odd")

@@ -99,12 +99,17 @@ func (p *Program) Verify() []Finding {
 		}
 	}
 	reach := p.reachableBlocks()
+	// Recompute the divergence analysis from scratch rather than trusting
+	// the verdicts Build recorded: checkReconvergence cross-checks the
+	// recorded BranchInfo against this fresh run, and checkBounds consumes
+	// its exact-affine component.
+	div := p.analyzeDivergence(reach)
 	fs = append(fs, p.checkReachability(reach)...)
-	fs = append(fs, p.checkReconvergence()...)
+	fs = append(fs, p.checkReconvergence(div)...)
 	fs = append(fs, p.checkDefUse(reach)...)
 	fs = append(fs, p.checkDeadDefs(reach)...)
 	fs = append(fs, p.checkBarriers(reach)...)
-	fs = append(fs, p.checkBounds(reach)...)
+	fs = append(fs, p.checkBounds(div)...)
 	sortFindings(fs)
 	return fs
 }
@@ -292,8 +297,11 @@ func (p *Program) checkReachability(reach []bool) []Finding {
 // compares it against the metadata recorded by Build. This is the check that
 // protects the paper's re-convergence stack and the WST's PC-merge test: a
 // wrong re-convergence PC makes conventional warps pop their stacks at the
-// wrong place and makes DWS splits merge at PCs that never match.
-func (p *Program) checkReconvergence() []Finding {
+// wrong place and makes DWS splits merge at PCs that never match. It also
+// cross-checks the recorded divergence verdicts (Class/Uniform) and the
+// refined Subdividable rule (divergence-capable ∧ short-join) against a
+// fresh analysis run, since the WPU's uniform-branch fast path trusts them.
+func (p *Program) checkReconvergence(div *divResult) []Finding {
 	var fs []Finding
 	vip := verifiedIPdom(p.Blocks)
 	blockOf := p.blockOf()
@@ -315,10 +323,14 @@ func (p *Program) checkReconvergence() []Finding {
 			})
 			continue
 		}
+		wantClass := ClassDivergent
+		if c, ok := div.branchClass[pc]; ok {
+			wantClass = c
+		}
 		want, wantSub := NoIPdom, false
 		if d := vip[blockOf[pc]]; d >= 0 {
 			want = p.Blocks[d].Start
-			wantSub = p.Blocks[d].Len() <= limit
+			wantSub = p.Blocks[d].Len() <= limit && wantClass != ClassUniform
 		}
 		if bi.IPdom != want {
 			fs = append(fs, Finding{
@@ -328,10 +340,18 @@ func (p *Program) checkReconvergence() []Finding {
 			})
 			continue
 		}
+		if bi.Class != wantClass || bi.Uniform != (wantClass == ClassUniform) {
+			fs = append(fs, Finding{
+				Check: "reconvergence", Severity: Err, PC: pc, Block: blockOf[pc],
+				Msg: fmt.Sprintf("recorded predicate class %s (uniform=%v), divergence analysis says %s",
+					bi.Class, bi.Uniform, wantClass),
+			})
+			continue
+		}
 		if bi.Subdividable != wantSub {
 			fs = append(fs, Finding{
 				Check: "reconvergence", Severity: Err, PC: pc, Block: blockOf[pc],
-				Msg: fmt.Sprintf("subdividable=%v disagrees with the short-block heuristic (limit %d)",
+				Msg: fmt.Sprintf("subdividable=%v disagrees with the divergence-capable ∧ short-join rule (limit %d)",
 					bi.Subdividable, limit),
 			})
 		}
@@ -735,138 +755,29 @@ func (p *Program) checkBarriers(reach []bool) []Finding {
 	return fs
 }
 
-// affine is the abstract value of the bounds checker: region base (or none)
-// plus c0 + ct*tid, where tid ranges over [0, DeclareThreads).
-type affine struct {
-	known  bool
-	region int // index into p.regions, or -1
-	c0, ct int64
-}
-
-const affLimit = int64(1) << 40
-
-func affConst(c int64) affine { return affine{known: true, region: -1, c0: c} }
-
-func affJoin(a, b affine) affine {
-	if a.known && b.known && a == b {
-		return a
-	}
-	return affine{}
-}
-
-func affClamp(a affine) affine {
-	if !a.known || a.c0 > affLimit || a.c0 < -affLimit || a.ct > affLimit || a.ct < -affLimit {
-		return affine{}
-	}
-	return a
-}
-
-// checkBounds abstractly interprets the kernel over the affine domain and
-// flags loads/stores whose effective address provably falls outside the
-// declared memory region for every launch of up to DeclareThreads threads.
-// It only fires where the address is affine in the thread id with constant
-// coefficients; anything data-dependent is left to the functional checks.
-func (p *Program) checkBounds(reach []bool) []Finding {
+// checkBounds consumes the exact-affine component of the divergence
+// analysis (dataflow.go, the vExact kind — the successor of the previous
+// ad-hoc affine pattern-matcher here) and flags loads/stores whose
+// effective address provably falls outside the declared memory region for
+// every launch of up to DeclareThreads threads. It only fires where the
+// address is region-relative and affine in the thread id with exact
+// constant coefficients; anything data-dependent is left to the functional
+// checks.
+func (p *Program) checkBounds(div *divResult) []Finding {
 	if len(p.regions) == 0 {
 		return nil
 	}
-	n := len(p.Blocks)
-	type state = [isa.NumRegs]affine
-	var entry state
-	entry[0] = affConst(0)
-	entry[1] = affine{known: true, region: -1, ct: 1} // tid
-	for i, r := range p.regions {
-		entry[r.Reg] = affine{known: true, region: i}
-	}
-	sin := make([]state, n)
-	seen := make([]bool, n)
-	sin[0] = entry
-	seen[0] = true
-	step := func(in isa.Inst, s *state) {
-		if !in.Op.WritesDst() || in.Dst == 0 {
-			return
-		}
-		a := s[in.SrcA]
-		b := s[in.SrcB]
-		var out affine
-		switch in.Op {
-		case isa.MOVI:
-			out = affConst(in.Imm)
-		case isa.MOV:
-			out = a
-		case isa.ADD:
-			if a.known && b.known && (a.region < 0 || b.region < 0) {
-				out = affine{known: true, region: max(a.region, b.region), c0: a.c0 + b.c0, ct: a.ct + b.ct}
-			}
-		case isa.SUB:
-			if a.known && b.known && b.region < 0 {
-				out = affine{known: true, region: a.region, c0: a.c0 - b.c0, ct: a.ct - b.ct}
-			}
-		case isa.ADDI:
-			if a.known {
-				out = affine{known: true, region: a.region, c0: a.c0 + in.Imm, ct: a.ct}
-			}
-		case isa.MULI:
-			if a.known && a.region < 0 {
-				out = affine{known: true, region: -1, c0: a.c0 * in.Imm, ct: a.ct * in.Imm}
-			}
-		case isa.SHLI:
-			if a.known && a.region < 0 && in.Imm >= 0 && in.Imm < 32 {
-				k := int64(1) << in.Imm
-				out = affine{known: true, region: -1, c0: a.c0 * k, ct: a.ct * k}
-			}
-		}
-		s[in.Dst] = affClamp(out)
-	}
-	for changed := true; changed; {
-		changed = false
-		for i := 0; i < n; i++ {
-			if !reach[i] || !seen[i] {
-				continue
-			}
-			s := sin[i]
-			for pc := p.Blocks[i].Start; pc < p.Blocks[i].End; pc++ {
-				step(p.Code[pc], &s)
-			}
-			for _, su := range p.Blocks[i].Succ {
-				if !seen[su] {
-					sin[su] = s
-					seen[su] = true
-					changed = true
-					continue
-				}
-				joined := sin[su]
-				for r := range joined {
-					joined[r] = affJoin(joined[r], s[r])
-				}
-				if joined != sin[su] {
-					sin[su] = joined
-					changed = true
-				}
-			}
-		}
-	}
 	var fs []Finding
-	for i := 0; i < n; i++ {
-		if !reach[i] || !seen[i] {
-			continue
-		}
-		s := sin[i]
-		for pc := p.Blocks[i].Start; pc < p.Blocks[i].End; pc++ {
-			inst := p.Code[pc]
-			if inst.Op.IsMem() {
-				if f, bad := p.boundsAt(pc, i, s[inst.SrcA], inst.Imm); bad {
-					fs = append(fs, f)
-				}
-			}
-			step(inst, &s)
+	for _, a := range div.accesses {
+		if f, bad := p.boundsAt(a.pc, a.block, a.val, a.imm); bad {
+			fs = append(fs, f)
 		}
 	}
 	return fs
 }
 
-func (p *Program) boundsAt(pc, blk int, a affine, imm int64) (Finding, bool) {
-	if !a.known || a.region < 0 {
+func (p *Program) boundsAt(pc, blk int, a absVal, imm int64) (Finding, bool) {
+	if a.kind != vExact || a.region < 0 {
 		return Finding{}, false
 	}
 	if a.ct != 0 && p.maxThreads <= 0 {

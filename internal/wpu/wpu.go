@@ -623,6 +623,28 @@ func (w *WPU) ReleaseBarrier() {
 // dynamic warp subdivision (§4), and conventional stack push serialisation.
 func (w *WPU) execBranch(s *Split, in isa.Inst) {
 	warp := s.warp
+
+	// Statically-uniform branch fast path: the divergence analysis proved
+	// every lane agrees on this predicate, so evaluate one representative
+	// lane and steer the whole split — no per-lane evaluation and no
+	// re-convergence bookkeeping. The concordance test (internal/workloads)
+	// runs with this disabled and asserts the analysis never mislabels a
+	// dynamically divergent branch as uniform.
+	if !w.cfg.DisableUniformFast && w.prog.UniformBranch(s.pc) {
+		w.Stats.Branches++
+		w.Stats.UniformBranchFast++
+		if isa.BranchTaken(in, &warp.regs[s.mask.First()]) {
+			s.pc = in.Target
+		} else {
+			s.pc++
+		}
+		w.postPCUpdate(s)
+		if s.state == Ready && w.cfg.PCReconv {
+			w.tryPCMerge(s)
+		}
+		return
+	}
+
 	var taken Mask
 	s.mask.Lanes(func(lane int) {
 		if isa.BranchTaken(in, &warp.regs[lane]) {
@@ -646,6 +668,9 @@ func (w *WPU) execBranch(s *Split, in isa.Inst) {
 	}
 
 	w.Stats.DivBranch++
+	if w.trace != nil {
+		w.emit(obs.EvBranchDiverge, s.warp.id, s.pc, taken, notTaken)
+	}
 	bi, _ := w.prog.Branch(s.pc)
 	// Re-convergence comes from the verified table (recomputed by the
 	// verifier's independent post-dominator pass), not the builder-side
