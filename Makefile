@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci lint fmt-check vet dwslint dwsverify build test race bench report trace
+.PHONY: ci lint fmt-check vet dwslint dwsverify build test race bench bench-check bench-baseline profile report trace
 
-ci: fmt-check vet lint build race test
+ci: fmt-check vet lint build race test bench-check
 
 # Static verification layer: the determinism linter over the simulator
 # packages and the ISA program verifier over every benchmark kernel.
@@ -41,6 +41,22 @@ race:
 # (see EXPERIMENTS.md for recorded numbers).
 bench:
 	$(GO) test -bench FullReport -benchtime 1x -run '^$$' .
+
+# CI benchmark gate: run the event-engine micro-benchmarks and fail on
+# >10% ns/op regression or any allocs/op increase vs BENCH_baseline.json.
+bench-check:
+	$(GO) run ./cmd/dwsbench
+
+# Re-measure and rewrite BENCH_baseline.json (run on an idle machine).
+bench-baseline:
+	$(GO) run ./cmd/dwsbench -update
+
+# Profile one live simulation (cpu.pprof + mem.pprof); inspect with e.g.
+#   go tool pprof -top cpu.pprof
+#   go tool pprof -top -sample_index=alloc_objects mem.pprof
+profile:
+	$(GO) run ./cmd/dwsim -bench $(BENCH) -scheme DWS.ReviveSplit -nocache \
+		-cpuprofile cpu.pprof -memprofile mem.pprof
 
 # Regenerate the paper's exhibits with the parallel executor.
 report:

@@ -227,6 +227,20 @@ func BenchmarkFullReport(b *testing.B) {
 	}
 }
 
+// BenchmarkFullReportShort is the end-to-end half of the `make
+// bench-check` CI gate (cmd/dwsbench): Table 1 regenerated from a cold
+// in-memory session — eight full simulations touching every kernel — so
+// wall-time regressions outside the event engine's micro-benchmarks
+// (scheduler, caches, functional execution) are caught as well.
+func BenchmarkFullReportShort(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSession(b)
+		if _, err := s.Table1(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // runFullReport regenerates every exhibit into io.Discard.
 func runFullReport(s *report.Session) error {
 	w := io.Discard

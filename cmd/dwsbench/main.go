@@ -1,0 +1,228 @@
+// dwsbench is the CI benchmark gate. It runs the event-engine
+// micro-benchmarks (BenchmarkEngineSteadyState: timing wheel, closure
+// path, and the retired heap queue kept as a reference) plus the
+// end-to-end BenchmarkFullReportShort (Table 1 from a cold session),
+// parses ns/op and allocs/op, and compares them against the checked-in
+// BENCH_baseline.json.
+//
+// Gating rules, both with a relative tolerance (default 10%):
+//   - ns/op is wall time and noisy, so the minimum across -count runs is
+//     compared — that filters scheduler noise;
+//   - allocs/op is effectively deterministic; a zero baseline (the
+//     engine's allocation-free steady state) fails on ANY alloc, and a
+//     nonzero baseline on anything beyond the tolerance.
+//
+// Usage:
+//
+//	dwsbench                 # compare against BENCH_baseline.json
+//	dwsbench -update         # re-measure and rewrite the baseline
+//	dwsbench -tolerance 0.25 # loosen the gate (e.g. noisy shared CI)
+//
+// Makefile wiring: `make bench-check` (part of `make ci`) and
+// `make bench-baseline`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measured cost.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Baseline is the checked-in snapshot dwsbench compares against.
+type Baseline struct {
+	Note       string            `json:"note"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "baseline file to compare against / update")
+		update       = flag.Bool("update", false, "re-measure and rewrite the baseline instead of gating")
+		tolerance    = flag.Float64("tolerance", 0.10, "allowed relative ns/op or allocs/op regression before failing")
+	)
+	flag.Parse()
+
+	got := map[string]Result{}
+	for _, s := range suites {
+		if err := measure(s, got); err != nil {
+			fmt.Fprintln(os.Stderr, "dwsbench:", err)
+			os.Exit(1)
+		}
+	}
+	if len(got) == 0 {
+		fmt.Fprintln(os.Stderr, "dwsbench: no benchmark results parsed")
+		os.Exit(1)
+	}
+
+	if *update {
+		if err := writeBaseline(*baselinePath, got); err != nil {
+			fmt.Fprintln(os.Stderr, "dwsbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("dwsbench: wrote %s (%d benchmarks)\n", *baselinePath, len(got))
+		return
+	}
+
+	base, err := readBaseline(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dwsbench: %v (run `make bench-baseline` to create it)\n", err)
+		os.Exit(1)
+	}
+	if failures := compare(base, got, *tolerance); len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "dwsbench: FAIL:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("dwsbench: %d benchmarks within tolerance (%.0f%% ns/op, no new allocs)\n",
+		len(base.Benchmarks), *tolerance*100)
+}
+
+// suite is one `go test -bench` invocation of the gate. Iteration counts
+// are pinned (NNx benchtimes) so runs stay comparable across hosts and
+// baseline refreshes.
+type suite struct {
+	pkg       string
+	bench     string
+	benchtime string
+	count     int
+}
+
+var suites = []suite{
+	// The tentpole micro-benchmarks: wheel vs closure path vs retired heap.
+	{pkg: "./internal/engine", bench: "^BenchmarkEngineSteadyState$", benchtime: "1000000x", count: 5},
+	// End-to-end: Table 1 cold (eight full simulations, every kernel).
+	{pkg: ".", bench: "^BenchmarkFullReportShort$", benchtime: "1x", count: 3},
+}
+
+// benchLine matches one `go test -bench -benchmem` result line, e.g.:
+//
+//	BenchmarkEngineSteadyState/wheel-8   1000000   17.30 ns/op   0 B/op   0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op.*\s([0-9]+) allocs/op`)
+
+// measure runs one suite and folds -count repetitions into one Result per
+// benchmark: minimum ns/op (noise filter), maximum allocs/op
+// (conservative — they should barely vary at all).
+func measure(s suite, got map[string]Result) error {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", s.bench,
+		"-benchtime", s.benchtime,
+		"-count", strconv.Itoa(s.count),
+		"-benchmem",
+		s.pkg)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("go test -bench %s: %v\n%s", s.bench, err, out)
+	}
+	for _, line := range strings.Split(string(out), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		name := normalize(m[1])
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return fmt.Errorf("parse ns/op in %q: %v", line, err)
+		}
+		allocs, err := strconv.ParseInt(m[3], 10, 64)
+		if err != nil {
+			return fmt.Errorf("parse allocs/op in %q: %v", line, err)
+		}
+		r, seen := got[name]
+		if !seen || ns < r.NsPerOp {
+			r.NsPerOp = ns
+		}
+		if allocs > r.AllocsPerOp {
+			r.AllocsPerOp = allocs
+		}
+		got[name] = r
+	}
+	return nil
+}
+
+// normalize strips the "Benchmark" prefix and the trailing -GOMAXPROCS
+// suffix so baselines do not depend on the host's processor count.
+func normalize(name string) string {
+	name = strings.TrimPrefix(name, "Benchmark")
+	if i := strings.LastIndex(name, "-"); i >= 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	return name
+}
+
+// compare returns a description of every gate violation: a missing or
+// extra benchmark, any allocs/op increase, or a ns/op regression beyond
+// the tolerance.
+func compare(base Baseline, got map[string]Result, tol float64) []string {
+	var failures []string
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		g, ok := got[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: in baseline but not measured (benchmark renamed or deleted?)", name))
+			continue
+		}
+		// A zero alloc baseline fails on any alloc at all: the engine's
+		// allocation-free steady state must not erode by "just one".
+		if float64(g.AllocsPerOp) > float64(b.AllocsPerOp)*(1+tol) {
+			failures = append(failures, fmt.Sprintf("%s: %d allocs/op, baseline %d — allocation regression",
+				name, g.AllocsPerOp, b.AllocsPerOp))
+		}
+		if limit := b.NsPerOp * (1 + tol); g.NsPerOp > limit {
+			failures = append(failures, fmt.Sprintf("%s: %.2f ns/op, baseline %.2f (+%.1f%% > %.0f%% tolerance)",
+				name, g.NsPerOp, b.NsPerOp, 100*(g.NsPerOp/b.NsPerOp-1), tol*100))
+		} else if g.NsPerOp < b.NsPerOp*(1-tol) {
+			fmt.Printf("dwsbench: note: %s improved to %.2f ns/op (baseline %.2f) — consider `make bench-baseline`\n",
+				name, g.NsPerOp, b.NsPerOp)
+		}
+	}
+	for name := range got {
+		if _, ok := base.Benchmarks[name]; !ok {
+			failures = append(failures, fmt.Sprintf("%s: measured but missing from baseline — run `make bench-baseline`", name))
+		}
+	}
+	return failures
+}
+
+func readBaseline(path string) (Baseline, error) {
+	var b Baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("%s: %v", path, err)
+	}
+	return b, nil
+}
+
+func writeBaseline(path string, got map[string]Result) error {
+	b := Baseline{
+		Note:       "min ns/op over pinned-iteration repetitions (see suites in cmd/dwsbench); refresh with `make bench-baseline` on an idle machine",
+		Benchmarks: got,
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

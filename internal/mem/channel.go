@@ -26,16 +26,27 @@ func NewChannel(q *engine.Queue, latency, occupancy engine.Cycle) *Channel {
 	return &Channel{q: q, Latency: latency, Occupancy: occupancy}
 }
 
-// Send delivers fn after the channel's queuing delay plus latency.
-func (c *Channel) Send(fn func()) {
-	now := c.q.Now()
-	start := now
+// depart reserves the channel for one message and returns its arrival time
+// (queuing delay plus latency).
+func (c *Channel) depart() engine.Cycle {
+	start := c.q.Now()
 	if c.busyUntil > start {
 		start = c.busyUntil
 	}
 	c.busyUntil = start + c.Occupancy
 	c.transfers++
-	c.q.At(start+c.Latency, fn)
+	return start + c.Latency
+}
+
+// Send delivers fn after the channel's queuing delay plus latency.
+func (c *Channel) Send(fn func()) {
+	c.q.At(c.depart(), fn)
+}
+
+// SendEvent delivers h.HandleEvent(arg) after the channel's queuing delay
+// plus latency — the allocation-free path for pre-bound handlers.
+func (c *Channel) SendEvent(h engine.Handler, arg uint64) {
+	c.q.ScheduleAt(c.depart(), h, arg)
 }
 
 // Transfers reports how many messages have crossed the channel.

@@ -11,7 +11,10 @@
 // coherence state used to decide hits, misses, and divergence.
 package mem
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 const pageWords = 1 << 12 // 4096 words = 32 KB pages
 
@@ -82,4 +85,48 @@ func (m *Memory) Alloc(n uint64, align uint64) uint64 {
 // the base address.
 func (m *Memory) AllocWords(n int) uint64 {
 	return m.Alloc(uint64(n)*8, 128)
+}
+
+// Hash returns a deterministic FNV-1a digest of the memory image. Pages are
+// folded in ascending page-number order, and all-zero pages are skipped so
+// the digest depends only on the architecturally visible contents (a page
+// instantiated by writing zeroes hashes like an untouched one). The
+// policy-equivalence tests compare digests across scheduling policies.
+func (m *Memory) Hash() uint64 {
+	pns := make([]uint64, 0, len(m.pages))
+	for pn := range m.pages {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	word := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	for _, pn := range pns {
+		p := m.pages[pn]
+		zero := true
+		for _, v := range p {
+			if v != 0 {
+				zero = false
+				break
+			}
+		}
+		if zero {
+			continue
+		}
+		word(pn)
+		for _, v := range p {
+			word(uint64(v))
+		}
+	}
+	return h
 }

@@ -59,7 +59,10 @@ func NewHierarchy(q *engine.Queue, numL1 int, cfg HierarchyConfig) *Hierarchy {
 //     then no other L1 holds it at all;
 //   - directory precision: an L1 holding a line S appears in the sharer
 //     set, and an L1 holding M/E is the registered owner;
-//   - inclusion: every line in an L1 is present in the L2.
+//   - inclusion: every line in an L1 is present in the L2;
+//   - no stale data: dirty L1 data only exists under Modified — a dirty
+//     line in any other state would be dropped without writeback on
+//     invalidation or silently diverge from the L2 copy.
 func (h *Hierarchy) CheckCoherence() string {
 	type holder struct {
 		id    int
@@ -68,9 +71,16 @@ func (h *Hierarchy) CheckCoherence() string {
 	holders := make(map[uint64][]holder)
 	for _, c := range h.L1s {
 		id := c.ID
+		var bad string
 		c.store.forEachValid(func(w *way) {
+			if w.dirty && w.state != Modified && bad == "" {
+				bad = sprintf("stale data: L1 %d holds dirty line %#x in state %v", id, w.lineAddr, w.state)
+			}
 			holders[w.lineAddr] = append(holders[w.lineAddr], holder{id, w.state})
 		})
+		if bad != "" {
+			return bad
+		}
 	}
 	for lineAddr, hs := range holders {
 		l2w := h.L2.st.lookup(lineAddr)

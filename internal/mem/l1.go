@@ -33,8 +33,11 @@ type L1Stats struct {
 	ReadAccesses  uint64
 }
 
+// l1Done is one completion subscription: a pre-bound handler plus its
+// argument (the allocation-free path), scheduled when the access finishes.
 type l1Done struct {
-	fn    func()
+	h     engine.Handler
+	arg   uint64
 	write bool
 }
 
@@ -45,13 +48,37 @@ type l1MSHR struct {
 	// already been dispatched; a second, exclusive request is issued when
 	// the first fill returns without write permission.
 	upgradeWanted bool
-	dones         []l1Done
+	// granted carries the directory's grant from install time (the
+	// synchronous directory reply) to the fill completion that arrives after
+	// the probe penalty and the return crossbar hop.
+	granted Coherence
+	dones   []l1Done
 }
 
 type l1Waiter struct {
 	lineAddr uint64
 	write    bool
-	done     func()
+	h        engine.Handler
+	arg      uint64
+}
+
+// The L1's event-path hops are pre-bound handlers so steady-state misses
+// schedule nothing but pooled engine events; each carries the line address
+// as its argument and resolves the MSHR from the map at delivery time.
+type l1ReqHop struct{ c *L1 }      // request crossed the crossbar → directory request
+type l1PenaltyHop struct{ c *L1 }  // probe penalty elapsed → return crossbar hop
+type l1CompleteHop struct{ c *L1 } // fill crossed the crossbar back → complete
+
+func (hp *l1ReqHop) HandleEvent(lineAddr uint64) { hp.c.sendRequest(lineAddr) }
+
+func (hp *l1PenaltyHop) HandleEvent(lineAddr uint64) {
+	hp.c.xbar.SendEvent(&hp.c.completeHop, lineAddr)
+}
+
+func (hp *l1CompleteHop) HandleEvent(lineAddr uint64) {
+	c := hp.c
+	m := c.mshrs[lineAddr]
+	c.complete(m, m.granted)
 }
 
 // L1 is a private, banked, write-back, write-allocate data cache with MSHRs
@@ -67,8 +94,13 @@ type L1 struct {
 	l2    *L2
 
 	mshrs    map[uint64]*l1MSHR
+	mshrPool []*l1MSHR  // free list; retired MSHRs keep their dones capacity
 	waiting  []l1Waiter // overflow when all MSHRs are busy
 	bankFree []engine.Cycle
+
+	reqHop      l1ReqHop
+	penaltyHop  l1PenaltyHop
+	completeHop l1CompleteHop
 
 	trace *obs.Trace // per-System observability sink (nil = disabled)
 
@@ -95,6 +127,9 @@ func NewL1(id int, q *engine.Queue, cfg L1Config, xbar *Channel, l2 *L2, trace *
 		bankFree: make([]engine.Cycle, cfg.Banks),
 		trace:    trace,
 	}
+	c.reqHop = l1ReqHop{c}
+	c.penaltyHop = l1PenaltyHop{c}
+	c.completeHop = l1CompleteHop{c}
 	l2.attach(c)
 	return c
 }
@@ -104,11 +139,23 @@ func NewL1(id int, q *engine.Queue, cfg L1Config, xbar *Channel, l2 *L2, trace *
 func (c *L1) Line(addr uint64) uint64 { return c.store.Line(addr) }
 
 // Access issues a load (write=false) or store (write=true) covering one
-// cache line. It reports synchronously whether the access hits — the WPU
-// needs the hit mask at issue time to drive memory-divergence subdivision —
-// and schedules done when the access completes (after the hit latency for
-// hits, or when the fill returns for misses).
+// cache line, completing through a plain closure. It is the
+// convenience/test entry; the WPU's hot path is AccessEvent.
 func (c *L1) Access(addr uint64, write bool, done func()) (hit bool) {
+	var h engine.Handler
+	if done != nil {
+		h = engine.FuncHandler(done)
+	}
+	return c.AccessEvent(addr, write, h, 0)
+}
+
+// AccessEvent issues a load (write=false) or store (write=true) covering
+// one cache line. It reports synchronously whether the access hits — the
+// WPU needs the hit mask at issue time to drive memory-divergence
+// subdivision — and schedules h.HandleEvent(arg) when the access completes
+// (after the hit latency for hits, or when the fill returns for misses).
+// h may be nil when no one waits for the data.
+func (c *L1) AccessEvent(addr uint64, write bool, h engine.Handler, arg uint64) (hit bool) {
 	c.Stats.Accesses++
 	if !write {
 		c.Stats.ReadAccesses++
@@ -120,7 +167,9 @@ func (c *L1) Access(addr uint64, write bool, done func()) (hit bool) {
 	// the crossbar yet.
 	if m, ok := c.mshrs[lineAddr]; ok {
 		c.Stats.Merges++
-		m.dones = append(m.dones, l1Done{fn: done, write: write})
+		if h != nil {
+			m.dones = append(m.dones, l1Done{h: h, arg: arg, write: write})
+		}
 		if write && !m.write {
 			m.upgradeWanted = true
 		}
@@ -136,18 +185,18 @@ func (c *L1) Access(addr uint64, write bool, done func()) (hit bool) {
 				w.dirty = true
 			}
 			c.store.touch(w)
-			c.scheduleHit(lineAddr, done)
+			c.scheduleHit(lineAddr, h, arg)
 			return true
 		}
 		// Store hitting a Shared line: the data is here but exclusivity is
 		// not — an upgrade miss.
 		c.Stats.Upgrades++
 	}
-	c.missPath(lineAddr, write, done)
+	c.missPath(lineAddr, write, h, arg)
 	return false
 }
 
-func (c *L1) scheduleHit(lineAddr uint64, done func()) {
+func (c *L1) scheduleHit(lineAddr uint64, h engine.Handler, arg uint64) {
 	bank := int((lineAddr / c.cfg.LineSize) % uint64(c.cfg.Banks))
 	start := c.q.Now()
 	if c.bankFree[bank] > start {
@@ -156,52 +205,86 @@ func (c *L1) scheduleHit(lineAddr uint64, done func()) {
 		start = c.bankFree[bank]
 	}
 	c.bankFree[bank] = start + 1 // banks accept one access per cycle
-	c.q.At(start+c.cfg.HitLat, done)
+	if h != nil {
+		c.q.ScheduleAt(start+c.cfg.HitLat, h, arg)
+	}
 }
 
-func (c *L1) missPath(lineAddr uint64, write bool, done func()) {
+func (c *L1) missPath(lineAddr uint64, write bool, h engine.Handler, arg uint64) {
 	if len(c.mshrs) >= c.cfg.MSHRs {
 		c.Stats.MSHRStalls++
 		if c.trace != nil {
 			c.trace.Emit(obs.Event{Cycle: uint64(c.q.Now()), Kind: obs.EvL1MSHRFull,
 				Unit: c.ID, Warp: -1, PC: -1, Addr: lineAddr})
 		}
-		c.waiting = append(c.waiting, l1Waiter{lineAddr: lineAddr, write: write, done: done})
+		c.waiting = append(c.waiting, l1Waiter{lineAddr: lineAddr, write: write, h: h, arg: arg})
 		return
 	}
-	c.allocMSHR(lineAddr, write, done)
+	c.allocMSHR(lineAddr, write, h, arg)
 }
 
-func (c *L1) allocMSHR(lineAddr uint64, write bool, done func()) {
+// getMSHR takes a recycled MSHR from the pool (or makes one); steady-state
+// misses therefore allocate nothing.
+func (c *L1) getMSHR() *l1MSHR {
+	if n := len(c.mshrPool); n > 0 {
+		m := c.mshrPool[n-1]
+		c.mshrPool = c.mshrPool[:n-1]
+		return m
+	}
+	return &l1MSHR{}
+}
+
+func (c *L1) putMSHR(m *l1MSHR) {
+	for i := range m.dones {
+		m.dones[i].h = nil
+	}
+	*m = l1MSHR{dones: m.dones[:0]}
+	c.mshrPool = append(c.mshrPool, m)
+}
+
+func (c *L1) allocMSHR(lineAddr uint64, write bool, h engine.Handler, arg uint64) {
 	c.Stats.Misses++
 	if c.trace != nil {
 		c.trace.Emit(obs.Event{Cycle: uint64(c.q.Now()), Kind: obs.EvL1Miss,
 			Unit: c.ID, Warp: -1, PC: -1, Addr: lineAddr})
 	}
-	m := &l1MSHR{lineAddr: lineAddr, write: write}
-	if done != nil {
-		m.dones = append(m.dones, l1Done{fn: done, write: write})
+	m := c.getMSHR()
+	m.lineAddr = lineAddr
+	m.write = write
+	if h != nil {
+		m.dones = append(m.dones, l1Done{h: h, arg: arg, write: write})
 	}
 	c.mshrs[lineAddr] = m
 	if n := uint64(len(c.mshrs)); n > c.Stats.MSHRPeak {
 		c.Stats.MSHRPeak = n
 	}
-	c.dispatch(m, write)
+	c.dispatch(m)
 }
 
-func (c *L1) dispatch(m *l1MSHR, write bool) {
-	c.xbar.Send(func() {
-		c.l2.Request(c.ID, m.lineAddr, write, func(granted Coherence, penalty engine.Cycle) {
-			// Install coherence state atomically with the directory grant so
-			// L1 state and directory state never disagree; the data (and so
-			// the waiters' completion) still pays the probe penalty plus the
-			// return crossbar hop.
-			c.install(m, granted)
-			c.q.After(penalty, func() {
-				c.xbar.Send(func() { c.complete(m, granted) })
-			})
-		})
-	})
+// dispatch sends the miss across the crossbar; the request hop re-reads the
+// MSHR's write intent at arrival so an upgrade re-dispatch reuses the path.
+func (c *L1) dispatch(m *l1MSHR) {
+	c.xbar.SendEvent(&c.reqHop, m.lineAddr)
+}
+
+// sendRequest runs when the request arrives at the directory (one crossbar
+// hop after dispatch). The reply comes back synchronously at grant time via
+// grantReply.
+func (c *L1) sendRequest(lineAddr uint64) {
+	m := c.mshrs[lineAddr]
+	c.l2.Request(c.ID, lineAddr, m.write)
+}
+
+// grantReply is invoked by the directory when it grants this cache's
+// request. Coherence state installs atomically with the directory decision
+// so L1 state and directory state never disagree; the data (and so the
+// waiters' completion) still pays the probe penalty plus the return
+// crossbar hop.
+func (c *L1) grantReply(lineAddr uint64, granted Coherence, penalty engine.Cycle) {
+	m := c.mshrs[lineAddr]
+	c.install(m, granted)
+	m.granted = granted
+	c.q.ScheduleAfter(penalty, &c.penaltyHop, lineAddr)
 }
 
 // install places the granted line in the array at directory-grant time.
@@ -224,44 +307,56 @@ func (c *L1) install(m *l1MSHR, granted Coherence) {
 
 // complete fires the MSHR's callbacks once the fill data has crossed the
 // crossbar, issuing a follow-up exclusive request when a store merged into
-// a read that was granted only Shared.
+// a read whose copy is not exclusive-capable. The decision reads the line's
+// state now, not the state granted at directory time: a remote read may
+// have downgraded the copy to Shared during the fill's probe-penalty and
+// crossbar window, and promoting that copy to Modified in place would break
+// the single-writer invariant.
 func (c *L1) complete(m *l1MSHR, granted Coherence) {
-	if m.upgradeWanted && granted != Modified && granted != Exclusive {
-		var writes []l1Done
-		for _, d := range m.dones {
-			if d.write {
-				writes = append(writes, d)
-			} else {
-				c.q.After(0, d.fn)
-			}
-		}
-		m.dones = writes
-		m.write = true
-		m.upgradeWanted = false
-		c.Stats.Upgrades++
-		c.dispatch(m, true)
-		return
-	}
 	if m.upgradeWanted {
-		// Grant was exclusive-capable; promote in place.
-		if w := c.store.lookup(m.lineAddr); w != nil {
-			w.state = Modified
-			w.dirty = true
+		w := c.store.lookup(m.lineAddr)
+		if w == nil || (w.state != Modified && w.state != Exclusive) {
+			n := 0
+			for _, d := range m.dones {
+				if d.write {
+					m.dones[n] = d
+					n++
+				} else {
+					c.q.ScheduleAfter(0, d.h, d.arg)
+				}
+			}
+			for i := n; i < len(m.dones); i++ {
+				m.dones[i].h = nil
+			}
+			m.dones = m.dones[:n]
+			m.write = true
+			m.upgradeWanted = false
+			c.Stats.Upgrades++
+			c.dispatch(m)
+			return
 		}
+		// The copy is still exclusive-capable; promote in place.
+		w.state = Modified
+		w.dirty = true
 	}
 	for _, d := range m.dones {
-		c.q.After(0, d.fn)
+		c.q.ScheduleAfter(0, d.h, d.arg)
 	}
 	delete(c.mshrs, m.lineAddr)
+	c.putMSHR(m)
 	c.drainWaiting()
 }
 
 func (c *L1) drainWaiting() {
 	for len(c.waiting) > 0 && len(c.mshrs) < c.cfg.MSHRs {
 		wt := c.waiting[0]
-		c.waiting = c.waiting[1:]
+		copy(c.waiting, c.waiting[1:])
+		c.waiting[len(c.waiting)-1] = l1Waiter{}
+		c.waiting = c.waiting[:len(c.waiting)-1]
 		if m, ok := c.mshrs[wt.lineAddr]; ok {
-			m.dones = append(m.dones, l1Done{fn: wt.done, write: wt.write})
+			if wt.h != nil {
+				m.dones = append(m.dones, l1Done{h: wt.h, arg: wt.arg, write: wt.write})
+			}
 			if wt.write && !m.write {
 				m.upgradeWanted = true
 			}
@@ -274,10 +369,10 @@ func (c *L1) drainWaiting() {
 				w.state = Modified
 				w.dirty = true
 			}
-			c.scheduleHit(wt.lineAddr, wt.done)
+			c.scheduleHit(wt.lineAddr, wt.h, wt.arg)
 			continue
 		}
-		c.allocMSHR(wt.lineAddr, wt.write, wt.done)
+		c.allocMSHR(wt.lineAddr, wt.write, wt.h, wt.arg)
 	}
 }
 

@@ -38,14 +38,15 @@ type L2Stats struct {
 	MSHRFull uint64
 }
 
-// l2Req is one L1 request queued at the directory. reply is invoked
-// synchronously at grant time — L1 coherence state must install atomically
-// with the directory decision or later grants could race it — and receives
-// the probe penalty the requester must add to its completion time.
+// l2Req is one L1 request queued at the directory. The grant is delivered
+// synchronously into the requesting L1 via grantReply — L1 coherence state
+// must install atomically with the directory decision or later grants could
+// race it — together with the probe penalty the requester must add to its
+// completion time.
 type l2Req struct {
-	from  int
-	write bool
-	reply func(granted Coherence, penalty engine.Cycle)
+	from     int
+	lineAddr uint64
+	write    bool
 }
 
 type l2MSHR struct {
@@ -63,11 +64,44 @@ type L2 struct {
 	dram *DRAM
 	l1s  []*L1
 
-	mshrs map[uint64]*l2MSHR
+	mshrs    map[uint64]*l2MSHR
+	mshrPool []*l2MSHR // free list; retired MSHRs keep their reqs capacity
+
+	// lookups is the tag-pipeline FIFO: LookupLat is constant, so requests
+	// finish the lookup in issue order and the pre-bound lookupHop handler
+	// just pops the front — no per-request closure.
+	lookups    []l2Req
+	lookupHead int
+	lookupHop  l2LookupHop
+	fillHop    l2FillHop
 
 	trace *obs.Trace // per-System observability sink (nil = disabled)
 
 	Stats L2Stats
+}
+
+type l2LookupHop struct{ l *L2 }
+type l2FillHop struct{ l *L2 }
+
+func (hp *l2LookupHop) HandleEvent(uint64) {
+	l := hp.l
+	r := l.lookups[l.lookupHead]
+	l.lookups[l.lookupHead] = l2Req{}
+	l.lookupHead++
+	if l.lookupHead == len(l.lookups) {
+		l.lookups = l.lookups[:0]
+		l.lookupHead = 0
+	}
+	if w := l.st.lookup(r.lineAddr); w != nil {
+		l.Stats.Hits++
+		l.grant(w, r)
+		return
+	}
+	l.missPath(r.lineAddr, r)
+}
+
+func (hp *l2FillHop) HandleEvent(lineAddr uint64) {
+	hp.l.fill(hp.l.mshrs[lineAddr])
 }
 
 // NewL2 builds the shared cache in front of dram. trace is the per-System
@@ -76,7 +110,7 @@ func NewL2(q *engine.Queue, cfg L2Config, dram *DRAM, trace *obs.Trace) *L2 {
 	if cfg.MSHRs <= 0 {
 		cfg.MSHRs = 1
 	}
-	return &L2{
+	l := &L2{
 		q:     q,
 		st:    newStore(cfg.SizeBytes, cfg.Ways, cfg.LineSize),
 		cfg:   cfg,
@@ -84,6 +118,9 @@ func NewL2(q *engine.Queue, cfg L2Config, dram *DRAM, trace *obs.Trace) *L2 {
 		mshrs: make(map[uint64]*l2MSHR),
 		trace: trace,
 	}
+	l.lookupHop = l2LookupHop{l}
+	l.fillHop = l2FillHop{l}
+	return l
 }
 
 func (l *L2) attach(c *L1) {
@@ -94,18 +131,13 @@ func (l *L2) attach(c *L1) {
 }
 
 // Request is called (already delayed by the crossbar) when an L1 misses.
-// reply is invoked with the granted MESI state once the directory can
-// satisfy the request; the caller adds the return crossbar hop.
-func (l *L2) Request(from int, lineAddr uint64, write bool, reply func(Coherence, engine.Cycle)) {
+// The requester's grantReply is invoked with the granted MESI state once the
+// directory can satisfy the request; the requester adds the return crossbar
+// hop.
+func (l *L2) Request(from int, lineAddr uint64, write bool) {
 	l.Stats.Requests++
-	l.q.After(l.cfg.LookupLat, func() {
-		if w := l.st.lookup(lineAddr); w != nil {
-			l.Stats.Hits++
-			l.grant(w, l2Req{from: from, write: write, reply: reply})
-			return
-		}
-		l.missPath(lineAddr, l2Req{from: from, write: write, reply: reply})
-	})
+	l.lookups = append(l.lookups, l2Req{from: from, lineAddr: lineAddr, write: write})
+	l.q.ScheduleAfter(l.cfg.LookupLat, &l.lookupHop, 0)
 }
 
 // grant runs the directory protocol for one request against a present line
@@ -164,7 +196,21 @@ func (l *L2) grant(w *way, r l2Req) {
 
 func (l *L2) finish(w *way, r l2Req, granted Coherence, penalty engine.Cycle) {
 	l.st.touch(w)
-	r.reply(granted, penalty)
+	l.l1s[r.from].grantReply(r.lineAddr, granted, penalty)
+}
+
+func (l *L2) getMSHR() *l2MSHR {
+	if n := len(l.mshrPool); n > 0 {
+		m := l.mshrPool[n-1]
+		l.mshrPool = l.mshrPool[:n-1]
+		return m
+	}
+	return &l2MSHR{}
+}
+
+func (l *L2) putMSHR(m *l2MSHR) {
+	*m = l2MSHR{reqs: m.reqs[:0]}
+	l.mshrPool = append(l.mshrPool, m)
 }
 
 func (l *L2) missPath(lineAddr uint64, r l2Req) {
@@ -188,7 +234,9 @@ func (l *L2) missPath(lineAddr uint64, r l2Req) {
 			return
 		}
 	}
-	m := &l2MSHR{lineAddr: lineAddr, reqs: []l2Req{r}}
+	m := l.getMSHR()
+	m.lineAddr = lineAddr
+	m.reqs = append(m.reqs, r)
 	l.mshrs[lineAddr] = m
 	if n := uint64(len(l.mshrs)); n > l.Stats.MSHRPeak {
 		l.Stats.MSHRPeak = n
@@ -197,7 +245,7 @@ func (l *L2) missPath(lineAddr uint64, r l2Req) {
 		l.trace.Emit(obs.Event{Cycle: uint64(l.q.Now()), Kind: obs.EvDRAMFetch,
 			Unit: -1, Warp: -1, PC: -1, Addr: lineAddr})
 	}
-	l.dram.Fetch(func() { l.fill(m) })
+	l.dram.FetchEvent(&l.fillHop, lineAddr)
 }
 
 // fill installs a memory line and answers the queued requesters in order.
@@ -216,6 +264,7 @@ func (l *L2) fill(m *l2MSHR) {
 	for _, r := range m.reqs {
 		l.grant(w, r)
 	}
+	l.putMSHR(m)
 }
 
 // evict releases an L2 frame. Inclusivity requires revoking any L1 copies;
@@ -274,6 +323,13 @@ func (l *L2) put(from int, lineAddr uint64, dirty bool) {
 	}
 }
 
+// dramReq is one fetch parked on the bus: the subscriber's pre-bound
+// handler plus argument, released after the bus transfer and device latency.
+type dramReq struct {
+	h   engine.Handler
+	arg uint64
+}
+
 // DRAM models main memory behind the L2: a fixed access latency plus a
 // bandwidth-limited memory bus, with the controller pipelining requests
 // (Table 3: 100-cycle latency, 16 GB/s bus).
@@ -283,19 +339,49 @@ type DRAM struct {
 	// Latency is the device access time charged after the bus transfer.
 	Latency engine.Cycle
 
+	// pending is the FIFO of in-flight fetches: the bus is FIFO (departure
+	// order equals call order), so the pre-bound busHop handler pops the
+	// front when each transfer arrives.
+	pending []dramReq
+	head    int
+	busHop  dramBusHop
+
 	Accesses   uint64
 	WritebackN uint64
 }
 
+type dramBusHop struct{ d *DRAM }
+
+func (hp *dramBusHop) HandleEvent(uint64) {
+	d := hp.d
+	r := d.pending[d.head]
+	d.pending[d.head] = dramReq{}
+	d.head++
+	if d.head == len(d.pending) {
+		d.pending = d.pending[:0]
+		d.head = 0
+	}
+	d.q.ScheduleAfter(d.Latency, r.h, r.arg)
+}
+
 // NewDRAM builds the memory model on the given bus.
 func NewDRAM(q *engine.Queue, bus *Channel, latency engine.Cycle) *DRAM {
-	return &DRAM{q: q, bus: bus, Latency: latency}
+	d := &DRAM{q: q, bus: bus, Latency: latency}
+	d.busHop = dramBusHop{d}
+	return d
+}
+
+// FetchEvent schedules h.HandleEvent(arg) after the bus queuing plus device
+// latency — the allocation-free path.
+func (d *DRAM) FetchEvent(h engine.Handler, arg uint64) {
+	d.Accesses++
+	d.pending = append(d.pending, dramReq{h: h, arg: arg})
+	d.bus.SendEvent(&d.busHop, 0)
 }
 
 // Fetch schedules done after the bus queuing plus device latency.
 func (d *DRAM) Fetch(done func()) {
-	d.Accesses++
-	d.bus.Send(func() { d.q.After(d.Latency, done) })
+	d.FetchEvent(engine.FuncHandler(done), 0)
 }
 
 // Writeback consumes bus bandwidth for an evicted dirty line; no one waits

@@ -24,7 +24,7 @@ import "repro/internal/obs"
 // false (caller falls back to a conventional full-group wait) when the
 // divergence cap would be exceeded or the split is inside a serialised
 // branch arm.
-func (w *WPU) trySlip(s *Split, hitMask, missMask Mask, assignOwner func(completionTarget, Mask)) bool {
+func (w *WPU) trySlip(s *Split, hitMask, missMask Mask) bool {
 	if !s.baseStack() {
 		w.Stats.SlipRefused++
 		return false
@@ -39,13 +39,13 @@ func (w *WPU) trySlip(s *Split, hitMask, missMask Mask, assignOwner func(complet
 	}
 	e := &slipEntry{split: s, mask: missMask, pc: s.pc, pending: missMask, scope: s.scope}
 	s.slipped = append(s.slipped, e)
-	assignOwner(e, missMask)
+	w.assignOwner(e, missMask)
 
 	s.mask = hitMask
 	s.stack[0].Mask = hitMask
 	s.state = WaitMem // the hits still pay the hit latency
 	s.pending = hitMask
-	assignOwner(s, hitMask)
+	w.assignOwner(s, hitMask)
 	return true
 }
 

@@ -18,13 +18,11 @@ func slipWPU(t *testing.T) *WPU {
 	return w
 }
 
-func noopAssign(completionTarget, Mask) {}
-
 func TestTrySlipMovesThreadsAside(t *testing.T) {
 	w := slipWPU(t)
 	s := w.warps[0].splits[0]
 	s.pc = 5
-	if !w.trySlip(s, 0x0F, 0xF0, noopAssign) {
+	if !w.trySlip(s, 0x0F, 0xF0) {
 		t.Fatal("slip refused within cap")
 	}
 	if s.mask != 0x0F || s.state != WaitMem || s.pending != 0x0F {
@@ -46,19 +44,19 @@ func TestTrySlipRespectsCap(t *testing.T) {
 	w := slipWPU(t)
 	w.maxSlip = 3
 	s := w.warps[0].splits[0]
-	if w.trySlip(s, 0x0F, 0xF0, noopAssign) { // 4 threads > cap 3
+	if w.trySlip(s, 0x0F, 0xF0) { // 4 threads > cap 3
 		t.Fatal("slip exceeded the divergence cap")
 	}
 	if w.Stats.SlipRefused != 1 {
 		t.Fatal("refusal not counted")
 	}
-	if w.trySlip(s, 0xF8, 0x07, noopAssign) { // 3 more... wait: 3 <= 3 OK
+	if w.trySlip(s, 0xF8, 0x07) { // 3 more... wait: 3 <= 3 OK
 	} else {
 		t.Fatal("slip refused within cap")
 	}
 	// A second slip of 1 more thread would exceed the cap (3+1 > 3).
 	s.state = Ready
-	if w.trySlip(s, 0xF0, 0x08, noopAssign) {
+	if w.trySlip(s, 0xF0, 0x08) {
 		t.Fatal("cumulative slip exceeded the cap")
 	}
 }
@@ -67,7 +65,7 @@ func TestTrySlipRequiresBaseStack(t *testing.T) {
 	w := slipWPU(t)
 	s := w.warps[0].splits[0]
 	s.stack = append(s.stack, StackEntry{ReconvPC: 9, PC: 1, Mask: 0xFF})
-	if w.trySlip(s, 0x0F, 0xF0, noopAssign) {
+	if w.trySlip(s, 0x0F, 0xF0) {
 		t.Fatal("slip allowed inside a serialised branch arm")
 	}
 }
@@ -76,7 +74,7 @@ func TestSlipAbsorbOnPCRevisit(t *testing.T) {
 	w := slipWPU(t)
 	s := w.warps[0].splits[0]
 	s.pc = 5
-	w.trySlip(s, 0x0F, 0xF0, noopAssign)
+	w.trySlip(s, 0x0F, 0xF0)
 	s.state = Ready
 	s.pending = 0
 	s.slipped[0].pending = 0 // data arrived
@@ -99,7 +97,7 @@ func TestSlipAbsorbRequiresArrivedData(t *testing.T) {
 	w := slipWPU(t)
 	s := w.warps[0].splits[0]
 	s.pc = 5
-	w.trySlip(s, 0x0F, 0xF0, noopAssign)
+	w.trySlip(s, 0x0F, 0xF0)
 	s.state = Ready
 	w.slipAbsorb(s) // pending data: must not merge
 	if len(s.slipped) != 1 {
@@ -111,7 +109,7 @@ func TestSlipSwapInParksRunAhead(t *testing.T) {
 	w := slipWPU(t)
 	s := w.warps[0].splits[0]
 	s.pc = 5
-	w.trySlip(s, 0x0F, 0xF0, noopAssign)
+	w.trySlip(s, 0x0F, 0xF0)
 	s.state = Ready
 	s.pending = 0
 	s.pc = 20 // run-ahead progressed to a stall point
@@ -137,7 +135,7 @@ func TestSlipSwapInFailsWhenDataPending(t *testing.T) {
 	w := slipWPU(t)
 	s := w.warps[0].splits[0]
 	s.pc = 5
-	w.trySlip(s, 0x0F, 0xF0, noopAssign)
+	w.trySlip(s, 0x0F, 0xF0)
 	s.state = Ready
 	s.pending = 0
 	if w.slipSwapIn(s) {
@@ -149,7 +147,7 @@ func TestPromoteAllSlipCreatesSplits(t *testing.T) {
 	w := slipWPU(t)
 	s := w.warps[0].splits[0]
 	s.pc = 5
-	w.trySlip(s, 0x0F, 0xF0, noopAssign)
+	w.trySlip(s, 0x0F, 0xF0)
 	s.parked = append(s.parked, parkedEntry{mask: 0x0F, pc: 9})
 	s.mask = 0 // pretend the active portion is gone
 	before := w.splitCount
@@ -180,7 +178,7 @@ func TestSlipEntryForwardsAfterPromotion(t *testing.T) {
 	w := slipWPU(t)
 	s := w.warps[0].splits[0]
 	s.pc = 5
-	w.trySlip(s, 0x0F, 0xF0, noopAssign)
+	w.trySlip(s, 0x0F, 0xF0)
 	e := s.slipped[0]
 	w.promoteAllSlip(s)
 	if e.asSplit == nil {

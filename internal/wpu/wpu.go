@@ -51,9 +51,27 @@ type WPU struct {
 	// would at distinct addresses on real hardware.
 	icache          *icache
 	fetchStallUntil engine.Cycle
+	refill          wpuRefill
 	progBases       map[*program.Program]int
 	nextProgBase    int
 	fetchBase       int
+
+	// execMem scratch, reused across instructions: the coalesced line
+	// groups of the instruction being issued, and the pooled completion
+	// tokens its cache accesses carry (indexed by the event argument; see
+	// HandleEvent). freeTok is the token free list.
+	memGroups []lineGroup
+	tokens    []memToken
+	freeTok   []int32
+
+	// stackPool recycles re-convergence stack slices between retired and
+	// newly created splits: subdivision-heavy schemes (ReviveSplit in
+	// particular) create and retire splits continuously in steady state,
+	// and the pool keeps that churn allocation-free. A split's current
+	// stack is exclusively owned — freezing moves the slice into the sync
+	// scope and the split is immediately given a replacement — so a stack
+	// recycled at removeSplit can have no live aliases.
+	stackPool [][]StackEntry
 
 	// Subdivision predictor (PredictiveSplit, the §8 extension).
 	predictor subdivPredictor
@@ -85,6 +103,7 @@ func New(id int, q *engine.Queue, cfg Config, l1 *mem.L1, fmem *mem.Memory, trac
 		icache:  newICache(cfg.ICacheLines, cfg.ICacheWays),
 		maxSlip: cfg.Width / 2,
 	}
+	w.refill = wpuRefill{w}
 	w.Stats.ThreadMisses = make([][]uint64, cfg.Warps)
 	for i := range w.Stats.ThreadMisses {
 		w.Stats.ThreadMisses[i] = make([]uint64, cfg.Width)
@@ -97,6 +116,56 @@ func New(id int, q *engine.Queue, cfg Config, l1 *mem.L1, fmem *mem.Memory, trac
 		})
 	}
 	return w, nil
+}
+
+// wpuRefill is the icache refill completion: a pre-bound handler so a cold
+// fetch schedules only a pooled event.
+type wpuRefill struct{ w *WPU }
+
+func (r *wpuRefill) HandleEvent(uint64) { r.w.progress++ }
+
+// lineGroup is one coalesced cache-line access of a SIMD memory
+// instruction: the line address, the lanes it covers, and the pool index of
+// the token routing its completion.
+type lineGroup struct {
+	addr  uint64
+	lanes Mask
+	tok   int32
+}
+
+// HandleEvent completes one coalesced line access; the argument indexes the
+// token pool. The token is released before the owner's callback runs so the
+// owner's next memory instruction can reuse it.
+func (w *WPU) HandleEvent(arg uint64) {
+	tok := &w.tokens[arg]
+	owner, lanes := tok.owner, tok.lanes
+	tok.owner = nil
+	w.freeTok = append(w.freeTok, int32(arg))
+	owner.onLineDone(lanes)
+}
+
+// allocToken takes a completion token from the pool. Only indexes are held
+// across the access, so pool growth is safe.
+func (w *WPU) allocToken(lanes Mask) int32 {
+	if n := len(w.freeTok); n > 0 {
+		ti := w.freeTok[n-1]
+		w.freeTok = w.freeTok[:n-1]
+		w.tokens[ti] = memToken{lanes: lanes}
+		return ti
+	}
+	w.tokens = append(w.tokens, memToken{lanes: lanes})
+	return int32(len(w.tokens) - 1)
+}
+
+// assignOwner routes the current instruction's tokens whose lanes overlap
+// to target. Ownership is assigned in the same cycle the accesses issue —
+// before any completion can fire (completions are events).
+func (w *WPU) assignOwner(target completionTarget, lanes Mask) {
+	for _, g := range w.memGroups {
+		if g.lanes&lanes != 0 {
+			w.tokens[g.tok].owner = target
+		}
+	}
 }
 
 // Config returns the (defaulted) configuration.
@@ -216,9 +285,37 @@ func (w *WPU) newSplit(warp *Warp, mask Mask, pc int, scope *SyncScope) *Split {
 		mask:  mask,
 		pc:    pc,
 		state: Ready,
-		stack: []StackEntry{{ReconvPC: program.NoIPdom, PC: pc, Mask: mask}},
+		stack: w.newStack(pc, mask),
 		scope: scope,
 	}
+}
+
+// newStack returns a single-entry base stack, recycled from the pool when
+// possible. The spare capacity covers typical branch-nesting depth so the
+// conventional push path does not reallocate either.
+func (w *WPU) newStack(pc int, mask Mask) []StackEntry {
+	var st []StackEntry
+	if n := len(w.stackPool); n > 0 {
+		st = w.stackPool[n-1][:1]
+		w.stackPool = w.stackPool[:n-1]
+	} else {
+		st = make([]StackEntry, 1, 8)
+	}
+	st[0] = StackEntry{ReconvPC: program.NoIPdom, PC: pc, Mask: mask}
+	return st
+}
+
+// resetStack rebases s's stack to a single entry after a subdivision. When
+// the old stack was frozen into a sync scope the scope now owns the slice
+// and s needs a fresh one; otherwise the old slice is s's own (subdivision
+// without freezing only happens at base stack) and is reused in place.
+func (w *WPU) resetStack(s *Split, frozen bool, pc int, mask Mask) {
+	if frozen {
+		s.stack = w.newStack(pc, mask)
+		return
+	}
+	s.stack = s.stack[:1]
+	s.stack[0] = StackEntry{ReconvPC: program.NoIPdom, PC: pc, Mask: mask}
 }
 
 // addSplit registers a split in the warp and gives it a scheduler slot if
@@ -279,6 +376,13 @@ func (w *WPU) removeSplit(s *Split) {
 	}
 	w.releaseSlot(s)
 	s.state = Dead
+	// Recycle the stack: dead splits may live on as wait-merge forwarding
+	// stubs (mergedInto), but forwarding never touches the stack. Nil it so
+	// any unexpected use fails fast instead of corrupting a reused slice.
+	if s.stack != nil {
+		w.stackPool = append(w.stackPool, s.stack)
+		s.stack = nil
+	}
 }
 
 func (w *WPU) admitWaiter(slot int) {
@@ -395,7 +499,7 @@ func (w *WPU) issueOne(s *Split) bool {
 		w.fetchStallUntil = w.q.Now() + engine.Cycle(w.cfg.IMissLat)
 		// The refill is an event: it keeps the machine's clock honest (the
 		// deadlock detector knows something is still in flight).
-		w.q.At(w.fetchStallUntil, func() { w.progress++ })
+		w.q.ScheduleAt(w.fetchStallUntil, &w.refill, 0)
 		return false
 	}
 	in := w.prog.Code[s.pc]
@@ -724,7 +828,8 @@ func (w *WPU) subdivideBranch(s *Split, taken, notTaken Mask, target int) {
 		w.emit(obs.EvBranchSubdiv, s.warp.id, s.pc, taken, notTaken)
 	}
 	scope := s.scope
-	if !s.baseStack() {
+	frozen := !s.baseStack()
+	if frozen {
 		scope = &SyncScope{
 			warp:     s.warp,
 			reconvPC: s.syncPC(),
@@ -737,7 +842,7 @@ func (w *WPU) subdivideBranch(s *Split, taken, notTaken Mask, target int) {
 	// The taken path keeps the split object (and its scheduler slot).
 	s.mask = taken
 	s.pc = target
-	s.stack = []StackEntry{{ReconvPC: program.NoIPdom, PC: target, Mask: taken}}
+	w.resetStack(s, frozen, target, taken)
 	s.scope = scope
 
 	nt := w.newSplit(s.warp, notTaken, fallthrough_, scope)
@@ -755,14 +860,12 @@ func (w *WPU) execMem(s *Split, in isa.Inst) {
 	write := in.Op == isa.ST
 	s.memSince++
 
-	// Functional execution and per-line coalescing.
-	type lineGroup struct {
-		addr  uint64
-		lanes Mask
-	}
-	var groups []lineGroup
-	lineIdx := make(map[uint64]int, 4)
-	s.mask.Lanes(func(lane int) {
+	// Functional execution and per-line coalescing. The group list is
+	// reused scratch scanned linearly: a SIMD access touches at most Width
+	// lines and usually far fewer, so a map would cost more than it saves.
+	groups := w.memGroups[:0]
+	for v := uint64(s.mask); v != 0; v &= v - 1 {
+		lane := Mask(v).First()
 		r := &warp.regs[lane]
 		addr := isa.EffAddr(in, r)
 		if write {
@@ -771,26 +874,30 @@ func (w *WPU) execMem(s *Split, in isa.Inst) {
 			r.Set(in.Dst, w.fmem.Read(addr))
 		}
 		la := w.l1.Line(addr)
-		gi, ok := lineIdx[la]
-		if !ok {
+		gi := -1
+		for i := range groups {
+			if groups[i].addr == la {
+				gi = i
+				break
+			}
+		}
+		if gi < 0 {
 			gi = len(groups)
-			lineIdx[la] = gi
 			groups = append(groups, lineGroup{addr: la})
 		}
 		groups[gi].lanes |= LaneMask(lane)
-	})
+	}
+	w.memGroups = groups
 
 	w.Stats.MemInsts++
 	w.Stats.MemAccesses++
 	w.Stats.LineAccesses += uint64(len(groups))
 
 	var hitMask, missMask Mask
-	tokens := make([]*memToken, len(groups))
-	for i, g := range groups {
-		tok := &memToken{lanes: g.lanes}
-		tokens[i] = tok
-		hit := w.l1.Access(g.addr, write, func() { tok.owner.onLineDone(tok.lanes) })
-		if hit {
+	for i := range groups {
+		g := &groups[i]
+		g.tok = w.allocToken(g.lanes)
+		if w.l1.AccessEvent(g.addr, write, w, uint64(g.tok)) {
 			hitMask |= g.lanes
 		} else {
 			missMask |= g.lanes
@@ -811,29 +918,21 @@ func (w *WPU) execMem(s *Split, in isa.Inst) {
 
 	s.pc++ // the instruction is architecturally complete; data is pending
 
-	// Default: the whole group waits for its slowest thread.
-	assignOwner := func(target completionTarget, lanes Mask) {
-		for _, tok := range tokens {
-			if tok.lanes&lanes != 0 {
-				tok.owner = target
-			}
-		}
-	}
-
 	if divergent && w.cfg.Slip != SlipOff {
-		if w.trySlip(s, hitMask, missMask, assignOwner) {
+		if w.trySlip(s, hitMask, missMask) {
 			return
 		}
 	} else if divergent && w.cfg.MemScheme != MemNone {
 		if w.shouldMemSubdivide(s) {
-			w.subdivideMem(s, hitMask, missMask, assignOwner)
+			w.subdivideMem(s, hitMask, missMask)
 			return
 		}
 	}
 
+	// Default: the whole group waits for its slowest thread.
 	s.state = WaitMem
 	s.pending = s.mask
-	assignOwner(s, s.mask)
+	w.assignOwner(s, s.mask)
 	w.tryWaitMerge(s)
 }
 
@@ -915,10 +1014,11 @@ func (w *WPU) shouldMemSubdivide(s *Split) bool {
 // line completions). Under BranchLimited a sync scope always binds the
 // children; under BranchBypass one is needed only to freeze a non-base
 // stack.
-func (w *WPU) subdivideMem(s *Split, hitMask, missMask Mask, assignOwner func(completionTarget, Mask)) {
+func (w *WPU) subdivideMem(s *Split, hitMask, missMask Mask) {
 	w.Stats.MemSubdivisions++
 	scope := s.scope
-	if w.cfg.MemReconv == BranchLimited || !s.baseStack() {
+	frozen := w.cfg.MemReconv == BranchLimited || !s.baseStack()
+	if frozen {
 		scope = &SyncScope{
 			warp:         s.warp,
 			reconvPC:     s.syncPC(),
@@ -945,13 +1045,13 @@ func (w *WPU) subdivideMem(s *Split, hitMask, missMask Mask, assignOwner func(co
 
 	s.memSince = 0
 	s.mask = missMask
-	s.stack = []StackEntry{{ReconvPC: program.NoIPdom, PC: pc, Mask: missMask}}
+	w.resetStack(s, frozen, pc, missMask)
 	s.scope = scope
 	s.state = WaitMem
 	s.pending = missMask
 
-	assignOwner(hit, hitMask)
-	assignOwner(s, missMask)
+	w.assignOwner(hit, hitMask)
+	w.assignOwner(s, missMask)
 	w.addSplit(hit)
 }
 
@@ -974,7 +1074,8 @@ func (w *WPU) tryRevive() bool {
 		w.Stats.MemSubdivisions++
 		w.progress++
 		scope := s.scope
-		if w.cfg.MemReconv == BranchLimited || !s.baseStack() {
+		frozen := w.cfg.MemReconv == BranchLimited || !s.baseStack()
+		if frozen {
 			scope = &SyncScope{
 				warp:         s.warp,
 				reconvPC:     s.syncPC(),
@@ -993,7 +1094,7 @@ func (w *WPU) tryRevive() bool {
 
 		s.memSince = 0
 		s.mask = s.pending
-		s.stack = []StackEntry{{ReconvPC: program.NoIPdom, PC: s.pc, Mask: s.mask}}
+		w.resetStack(s, frozen, s.pc, s.mask)
 		s.scope = scope
 
 		w.addSplit(ready)
