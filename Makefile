@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: ci lint fmt-check vet dwslint dwsverify build test race bench bench-check bench-baseline profile report trace
+.PHONY: ci lint fmt-check vet dwslint dwsverify build test race bench bench-check bench-baseline profile profile-diff report trace
 
 ci: fmt-check vet lint build race test bench-check
 
@@ -57,6 +57,17 @@ bench-baseline:
 profile:
 	$(GO) run ./cmd/dwsim -bench $(BENCH) -scheme DWS.ReviveSplit -nocache \
 		-cpuprofile cpu.pprof -memprofile mem.pprof
+
+# Compare two CPU profiles (before/after an optimisation): every sample in
+# BASE is subtracted from AFTER, so improvements show as negative flat time.
+# Typical loop (see README "Finding the next hot path"):
+#   make profile && mv cpu.pprof cpu.before.pprof
+#   ... edit ...
+#   make profile && make profile-diff BASE=cpu.before.pprof AFTER=cpu.pprof
+BASE  ?= cpu.before.pprof
+AFTER ?= cpu.pprof
+profile-diff:
+	$(GO) tool pprof -top -nodecount 25 -diff_base $(BASE) $(AFTER)
 
 # Regenerate the paper's exhibits with the parallel executor.
 report:

@@ -103,6 +103,11 @@ type suite struct {
 var suites = []suite{
 	// The tentpole micro-benchmarks: wheel vs closure path vs retired heap.
 	{pkg: "./internal/engine", bench: "^BenchmarkEngineSteadyState$", benchtime: "1000000x", count: 5},
+	// Execution-core fast paths: pre-decoded issue + SoA ALU lane loops,
+	// and the map-free memory paths (tiered page lookup, MSHR table) with
+	// their zero allocs/op pins.
+	{pkg: "./internal/wpu", bench: "^BenchmarkIssueALU$", benchtime: "200x", count: 5},
+	{pkg: "./internal/mem", bench: "^BenchmarkFuncMemReadWrite$|^BenchmarkMSHRLookup$", benchtime: "2000000x", count: 5},
 	// End-to-end: Table 1 cold (eight full simulations, every kernel).
 	{pkg: ".", bench: "^BenchmarkFullReportShort$", benchtime: "1x", count: 3},
 }

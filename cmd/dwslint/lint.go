@@ -1,6 +1,6 @@
 // The determinism linter: go/ast + go/types checks for the hazards that
 // would silently break the simulator's byte-identical -j 1 vs -j 8
-// guarantee (see internal/report). Four checks:
+// guarantee (see internal/report). Five checks:
 //
 //   - wallclock:  time.Now / time.Since in simulation code. Simulated time
 //     is the engine's cycle counter; wall-clock reads make results depend
@@ -12,6 +12,11 @@
 //     declared outside the loop. Go randomises map iteration order, so
 //     such writes make results depend on it. The keys-collection idiom
 //     (x = append(x, key) followed by a sort) is exempt.
+//   - ptrmaprange: ranging over a pointer-keyed map (the
+//     map[*program.Program]int shape). Pointer keys have no stable sort
+//     key — addresses differ run to run — so even the collect-and-sort
+//     idiom cannot make the order reproducible; such maps must be
+//     replaced with insertion-ordered slices (see wpu.progBases).
 //   - goroutine:  a go statement outside the approved executor files. All
 //     simulator concurrency must flow through the report.Session worker
 //     pool, whose merge order is deterministic.
@@ -270,8 +275,16 @@ func (w *walker) checkMapRange(rs *ast.RangeStmt) {
 	if !ok || tv.Type == nil {
 		return // unresolved (crosses a fake import): out of scope
 	}
-	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+	mp, isMap := tv.Type.Underlying().(*types.Map)
+	if !isMap {
 		return
+	}
+	// A pointer-keyed map is flagged at the range itself, whatever the body
+	// does: addresses differ run to run, so no sort of the keys can make
+	// the iteration order reproducible.
+	if _, ptrKey := mp.Key().Underlying().(*types.Pointer); ptrKey {
+		w.add(rs.Pos(), "ptrmaprange",
+			"range over a pointer-keyed map: pointer keys have no run-stable sort key, so no iteration order over this map is reproducible (use an insertion-ordered slice instead)")
 	}
 
 	inBody := func(pos token.Pos) bool {

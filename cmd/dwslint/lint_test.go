@@ -79,7 +79,7 @@ func TestBadFixture(t *testing.T) {
 	}
 
 	// Every check must be represented at least once in the fixture.
-	for _, check := range []string{"wallclock", "rand", "maprange", "goroutine", "directive"} {
+	for _, check := range []string{"wallclock", "rand", "maprange", "ptrmaprange", "goroutine", "directive"} {
 		seen := false
 		for _, c := range want {
 			if c == check {

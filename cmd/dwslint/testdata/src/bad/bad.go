@@ -38,6 +38,16 @@ func mapSend(ch chan string) {
 	}
 }
 
+type node struct{ id int }
+
+var owners = map[*node]int{}
+
+func ptrKeyed() {
+	for _, v := range owners { // want ptrmaprange
+		_ = v
+	}
+}
+
 func spawn() {
 	go func() {}() // want goroutine
 }

@@ -44,3 +44,19 @@ func ignored() time.Time {
 func simTime(cycles int64) time.Duration {
 	return time.Duration(cycles) * time.Nanosecond
 }
+
+type handle struct{ id int }
+
+var handles = map[*handle]bool{}
+
+// suppressedPtrRange shows the sanctioned escape hatch for a genuinely
+// order-insensitive query over a pointer-keyed map.
+func suppressedPtrRange() bool {
+	//dwslint:ignore fixture: presence check, independent of iteration order
+	for _, live := range handles {
+		if live {
+			return true
+		}
+	}
+	return false
+}

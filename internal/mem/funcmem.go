@@ -18,30 +18,110 @@ import (
 
 const pageWords = 1 << 12 // 4096 words = 32 KB pages
 
+// noPage is the lastPN sentinel: no page can have this number (it would
+// require a word index past 2^64).
+const noPage = ^uint64(0)
+
 // Memory is the flat functional memory image. It is word (8-byte)
 // addressable through byte addresses; unaligned accesses are rounded down
 // to the containing word, which the program layer never produces.
 //
 // Memory also provides a bump allocator so workloads can lay out arrays at
 // distinct, cache-realistic addresses.
+//
+// The page lookup is tiered for the issue-loop fast path: a one-entry
+// last-page cache catches the streaming case (SIMD groups touch runs of
+// consecutive addresses), a flat directory indexed by page number covers
+// the bump-allocated range, and a map holds only out-of-range stragglers
+// (addresses below the allocator base or past brk).
 type Memory struct {
-	pages map[uint64]*[pageWords]int64
-	brk   uint64 // next free byte for Alloc
+	// lastPN/lastPage: the most recently touched allocated page.
+	lastPN   uint64
+	lastPage *[pageWords]int64
+	// dir[pn-dirBase] covers page numbers [dirBase, dirBase+len(dir)).
+	dir     []*[pageWords]int64
+	dirBase uint64
+	// overflow holds pages outside the directory range.
+	overflow map[uint64]*[pageWords]int64
+	brk      uint64 // next free byte for Alloc
 }
 
 // NewMemory returns an empty memory image. Allocation starts at a non-zero
 // base so address 0 stays an obvious poison value.
 func NewMemory() *Memory {
-	return &Memory{pages: make(map[uint64]*[pageWords]int64), brk: 1 << 20}
+	m := &Memory{
+		lastPN:   noPage,
+		overflow: make(map[uint64]*[pageWords]int64),
+		brk:      1 << 20,
+	}
+	m.growDir()
+	return m
 }
 
+// growDir (re)sizes the flat directory to cover every page the bump
+// allocator has handed out, migrating overflow pages that fall inside the
+// new range. Called from Alloc, never from the Read/Write fast path.
+func (m *Memory) growDir() {
+	base := (uint64(1) << 20) / 8 / pageWords
+	end := m.brk/8/pageWords + 1
+	if base >= end {
+		end = base + 1
+	}
+	need := end - base
+	if m.dir != nil && m.dirBase == base && uint64(len(m.dir)) >= need {
+		return
+	}
+	// Grow geometrically so repeated small Allocs don't re-copy the
+	// directory each time.
+	if have := uint64(len(m.dir)) * 2; need < have {
+		need = have
+	}
+	nd := make([]*[pageWords]int64, need)
+	copy(nd, m.dir)
+	m.dir = nd
+	m.dirBase = base
+	// Migrate any overflow pages now covered by the directory. Map order
+	// does not matter (each page lands in its own slot) but dwslint's
+	// maprange check wants the sorted-keys idiom, which costs nothing here.
+	if len(m.overflow) > 0 {
+		pns := make([]uint64, 0, len(m.overflow))
+		for pn := range m.overflow {
+			pns = append(pns, pn)
+		}
+		sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+		for _, pn := range pns {
+			if pn >= m.dirBase && pn-m.dirBase < uint64(len(m.dir)) {
+				m.dir[pn-m.dirBase] = m.overflow[pn]
+				delete(m.overflow, pn)
+			}
+		}
+	}
+}
+
+// lookup returns the page for wordIdx, or nil if it was never written.
+func (m *Memory) lookup(pn uint64) *[pageWords]int64 {
+	if i := pn - m.dirBase; i < uint64(len(m.dir)) {
+		return m.dir[i]
+	}
+	return m.overflow[pn]
+}
+
+// page returns the page for wordIdx, instantiating it if needed.
 func (m *Memory) page(wordIdx uint64) *[pageWords]int64 {
 	pn := wordIdx / pageWords
-	p := m.pages[pn]
+	if pn == m.lastPN {
+		return m.lastPage
+	}
+	p := m.lookup(pn)
 	if p == nil {
 		p = new([pageWords]int64)
-		m.pages[pn] = p
+		if i := pn - m.dirBase; i < uint64(len(m.dir)) {
+			m.dir[i] = p
+		} else {
+			m.overflow[pn] = p
+		}
 	}
+	m.lastPN, m.lastPage = pn, p
 	return p
 }
 
@@ -49,7 +129,11 @@ func (m *Memory) page(wordIdx uint64) *[pageWords]int64 {
 func (m *Memory) Read(addr uint64) int64 {
 	w := addr / 8
 	pn := w / pageWords
-	if p := m.pages[pn]; p != nil {
+	if pn == m.lastPN {
+		return m.lastPage[w%pageWords]
+	}
+	if p := m.lookup(pn); p != nil {
+		m.lastPN, m.lastPage = pn, p
 		return p[w%pageWords]
 	}
 	return 0
@@ -78,6 +162,7 @@ func (m *Memory) Alloc(n uint64, align uint64) uint64 {
 	}
 	base := (m.brk + align - 1) &^ (align - 1)
 	m.brk = base + n
+	m.growDir()
 	return base
 }
 
@@ -93,9 +178,14 @@ func (m *Memory) AllocWords(n int) uint64 {
 // instantiated by writing zeroes hashes like an untouched one). The
 // policy-equivalence tests compare digests across scheduling policies.
 func (m *Memory) Hash() uint64 {
-	pns := make([]uint64, 0, len(m.pages))
-	for pn := range m.pages {
+	pns := make([]uint64, 0, len(m.overflow))
+	for pn := range m.overflow {
 		pns = append(pns, pn)
+	}
+	for i, p := range m.dir {
+		if p != nil {
+			pns = append(pns, m.dirBase+uint64(i))
+		}
 	}
 	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
 
@@ -112,7 +202,7 @@ func (m *Memory) Hash() uint64 {
 		}
 	}
 	for _, pn := range pns {
-		p := m.pages[pn]
+		p := m.lookup(pn)
 		zero := true
 		for _, v := range p {
 			if v != 0 {

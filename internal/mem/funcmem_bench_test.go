@@ -1,0 +1,62 @@
+package mem
+
+// Gate benchmarks for the two map-free memory fast paths introduced with
+// the execution-core rewrite: the tiered functional-memory page lookup
+// (last-page cache → flat directory → overflow map) and the MSHR
+// open-addressing table. Both are pinned in cmd/dwsbench with a zero
+// allocs/op baseline — the steady state must stay allocation-free.
+
+import "testing"
+
+// BenchmarkFuncMemReadWrite streams a write+read pair across a multi-page
+// allocated region: strided enough to leave the last-page cache regularly
+// (exercising the flat directory) while staying inside the bump-allocated
+// range (the overflow map must never be touched).
+func BenchmarkFuncMemReadWrite(b *testing.B) {
+	m := NewMemory()
+	const words = 8 * pageWords // 8 pages
+	base := m.AllocWords(words)
+	// Touch every page up front so page instantiation is out of the loop.
+	for i := uint64(0); i < words; i++ {
+		m.Write(base+8*i, int64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		// Large co-prime stride: consecutive accesses land on different
+		// pages, so the benchmark measures the directory path and not just
+		// the one-entry last-page cache.
+		addr := base + 8*((uint64(i)*(pageWords+1))%words)
+		m.Write(addr, int64(i))
+		sink += m.Read(addr)
+	}
+	benchSink = sink
+}
+
+// BenchmarkMSHRLookup pins the open-addressing MSHR table's full fast-path
+// cycle: a miss probe on an empty table, an insert, a hit probe, and a
+// backward-shift delete — the sequence every cache miss pays.
+func BenchmarkMSHRLookup(b *testing.B) {
+	t := newMSHRTable[int](32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		key := uint64(i) * 128
+		if _, ok := t.get(key); ok {
+			b.Fatal("phantom entry")
+		}
+		t.put(key, i)
+		if _, ok := t.get(key); ok {
+			hits++
+		}
+		t.del(key)
+	}
+	if hits != b.N {
+		b.Fatalf("hits = %d, want %d", hits, b.N)
+	}
+}
+
+// benchSink defeats dead-code elimination of benchmark loop bodies.
+var benchSink int64

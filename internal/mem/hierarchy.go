@@ -68,7 +68,15 @@ func (h *Hierarchy) CheckCoherence() string {
 		id    int
 		state Coherence
 	}
-	holders := make(map[uint64][]holder)
+	type lineHolders struct {
+		lineAddr uint64
+		hs       []holder
+	}
+	// lines is iterated in insertion order (L1 id, then frame order within
+	// each L1) so the first violation reported is deterministic; the map is
+	// a lookup index only and is never ranged over.
+	var lines []lineHolders
+	index := make(map[uint64]int)
 	for _, c := range h.L1s {
 		id := c.ID
 		var bad string
@@ -76,13 +84,20 @@ func (h *Hierarchy) CheckCoherence() string {
 			if w.dirty && w.state != Modified && bad == "" {
 				bad = sprintf("stale data: L1 %d holds dirty line %#x in state %v", id, w.lineAddr, w.state)
 			}
-			holders[w.lineAddr] = append(holders[w.lineAddr], holder{id, w.state})
+			li, ok := index[w.lineAddr]
+			if !ok {
+				li = len(lines)
+				index[w.lineAddr] = li
+				lines = append(lines, lineHolders{lineAddr: w.lineAddr})
+			}
+			lines[li].hs = append(lines[li].hs, holder{id, w.state})
 		})
 		if bad != "" {
 			return bad
 		}
 	}
-	for lineAddr, hs := range holders {
+	for _, lh := range lines {
+		lineAddr, hs := lh.lineAddr, lh.hs
 		l2w := h.L2.st.lookup(lineAddr)
 		if l2w == nil {
 			return sprintf("inclusion violated: line %#x in L1 but not L2", lineAddr)

@@ -1,6 +1,8 @@
 package mem
 
 import (
+	"math/bits"
+
 	"repro/internal/engine"
 	"repro/internal/obs"
 )
@@ -77,7 +79,7 @@ func (hp *l1PenaltyHop) HandleEvent(lineAddr uint64) {
 
 func (hp *l1CompleteHop) HandleEvent(lineAddr uint64) {
 	c := hp.c
-	m := c.mshrs[lineAddr]
+	m, _ := c.mshrs.get(lineAddr)
 	c.complete(m, m.granted)
 }
 
@@ -93,10 +95,17 @@ type L1 struct {
 	xbar  *Channel
 	l2    *L2
 
-	mshrs    map[uint64]*l1MSHR
+	mshrs    mshrTable[*l1MSHR]
 	mshrPool []*l1MSHR  // free list; retired MSHRs keep their dones capacity
 	waiting  []l1Waiter // overflow when all MSHRs are busy
 	bankFree []engine.Cycle
+	// bankShift/bankMask replace scheduleHit's divide+modulo bank selection;
+	// bankMask < 0 keeps the modulo path for non-power-of-two bank counts.
+	bankShift uint
+	bankMask  int64
+	// lineMask caches LineSize-1 so the WPU's per-lane Line calls align
+	// without chasing into the store.
+	lineMask uint64
 
 	reqHop      l1ReqHop
 	penaltyHop  l1PenaltyHop
@@ -123,9 +132,15 @@ func NewL1(id int, q *engine.Queue, cfg L1Config, xbar *Channel, l2 *L2, trace *
 		cfg:      cfg,
 		xbar:     xbar,
 		l2:       l2,
-		mshrs:    make(map[uint64]*l1MSHR),
+		mshrs:    newMSHRTable[*l1MSHR](cfg.MSHRs),
 		bankFree: make([]engine.Cycle, cfg.Banks),
 		trace:    trace,
+	}
+	c.lineMask = cfg.LineSize - 1
+	c.bankShift = uint(bits.TrailingZeros64(cfg.LineSize))
+	c.bankMask = -1
+	if cfg.Banks&(cfg.Banks-1) == 0 {
+		c.bankMask = int64(cfg.Banks - 1)
 	}
 	c.reqHop = l1ReqHop{c}
 	c.penaltyHop = l1PenaltyHop{c}
@@ -136,7 +151,7 @@ func NewL1(id int, q *engine.Queue, cfg L1Config, xbar *Channel, l2 *L2, trace *
 
 // Line returns the line-aligned address containing addr; the WPU uses it to
 // coalesce the per-thread addresses of a SIMD memory instruction.
-func (c *L1) Line(addr uint64) uint64 { return c.store.Line(addr) }
+func (c *L1) Line(addr uint64) uint64 { return addr &^ c.lineMask }
 
 // Access issues a load (write=false) or store (write=true) covering one
 // cache line, completing through a plain closure. It is the
@@ -165,7 +180,7 @@ func (c *L1) AccessEvent(addr uint64, write bool, h engine.Handler, arg uint64) 
 	// A line with an in-flight fill still counts as a miss: the grant may
 	// have installed coherence state already, but the data has not crossed
 	// the crossbar yet.
-	if m, ok := c.mshrs[lineAddr]; ok {
+	if m, ok := c.mshrs.get(lineAddr); ok {
 		c.Stats.Merges++
 		if h != nil {
 			m.dones = append(m.dones, l1Done{h: h, arg: arg, write: write})
@@ -197,7 +212,10 @@ func (c *L1) AccessEvent(addr uint64, write bool, h engine.Handler, arg uint64) 
 }
 
 func (c *L1) scheduleHit(lineAddr uint64, h engine.Handler, arg uint64) {
-	bank := int((lineAddr / c.cfg.LineSize) % uint64(c.cfg.Banks))
+	bank := int((lineAddr >> c.bankShift) & uint64(c.bankMask))
+	if c.bankMask < 0 {
+		bank = int((lineAddr >> c.bankShift) % uint64(c.cfg.Banks))
+	}
 	start := c.q.Now()
 	if c.bankFree[bank] > start {
 		c.Stats.BankQueuing += uint64(c.bankFree[bank] - start)
@@ -211,7 +229,7 @@ func (c *L1) scheduleHit(lineAddr uint64, h engine.Handler, arg uint64) {
 }
 
 func (c *L1) missPath(lineAddr uint64, write bool, h engine.Handler, arg uint64) {
-	if len(c.mshrs) >= c.cfg.MSHRs {
+	if c.mshrs.len() >= c.cfg.MSHRs {
 		c.Stats.MSHRStalls++
 		if c.trace != nil {
 			c.trace.Emit(obs.Event{Cycle: uint64(c.q.Now()), Kind: obs.EvL1MSHRFull,
@@ -254,8 +272,8 @@ func (c *L1) allocMSHR(lineAddr uint64, write bool, h engine.Handler, arg uint64
 	if h != nil {
 		m.dones = append(m.dones, l1Done{h: h, arg: arg, write: write})
 	}
-	c.mshrs[lineAddr] = m
-	if n := uint64(len(c.mshrs)); n > c.Stats.MSHRPeak {
+	c.mshrs.put(lineAddr, m)
+	if n := uint64(c.mshrs.len()); n > c.Stats.MSHRPeak {
 		c.Stats.MSHRPeak = n
 	}
 	c.dispatch(m)
@@ -271,7 +289,7 @@ func (c *L1) dispatch(m *l1MSHR) {
 // hop after dispatch). The reply comes back synchronously at grant time via
 // grantReply.
 func (c *L1) sendRequest(lineAddr uint64) {
-	m := c.mshrs[lineAddr]
+	m, _ := c.mshrs.get(lineAddr)
 	c.l2.Request(c.ID, lineAddr, m.write)
 }
 
@@ -281,7 +299,7 @@ func (c *L1) sendRequest(lineAddr uint64) {
 // waiters' completion) still pays the probe penalty plus the return
 // crossbar hop.
 func (c *L1) grantReply(lineAddr uint64, granted Coherence, penalty engine.Cycle) {
-	m := c.mshrs[lineAddr]
+	m, _ := c.mshrs.get(lineAddr)
 	c.install(m, granted)
 	m.granted = granted
 	c.q.ScheduleAfter(penalty, &c.penaltyHop, lineAddr)
@@ -294,7 +312,7 @@ func (c *L1) install(m *l1MSHR, granted Coherence) {
 		w = c.store.victim(m.lineAddr)
 		c.evict(w)
 		w.valid = true
-		w.lineAddr = m.lineAddr
+		c.store.setLine(w, m.lineAddr)
 		w.dirty = false
 	}
 	w.state = granted
@@ -342,18 +360,18 @@ func (c *L1) complete(m *l1MSHR, granted Coherence) {
 	for _, d := range m.dones {
 		c.q.ScheduleAfter(0, d.h, d.arg)
 	}
-	delete(c.mshrs, m.lineAddr)
+	c.mshrs.del(m.lineAddr)
 	c.putMSHR(m)
 	c.drainWaiting()
 }
 
 func (c *L1) drainWaiting() {
-	for len(c.waiting) > 0 && len(c.mshrs) < c.cfg.MSHRs {
+	for len(c.waiting) > 0 && c.mshrs.len() < c.cfg.MSHRs {
 		wt := c.waiting[0]
 		copy(c.waiting, c.waiting[1:])
 		c.waiting[len(c.waiting)-1] = l1Waiter{}
 		c.waiting = c.waiting[:len(c.waiting)-1]
-		if m, ok := c.mshrs[wt.lineAddr]; ok {
+		if m, ok := c.mshrs.get(wt.lineAddr); ok {
 			if wt.h != nil {
 				m.dones = append(m.dones, l1Done{h: wt.h, arg: wt.arg, write: wt.write})
 			}
@@ -388,7 +406,7 @@ func (c *L1) evict(w *way) {
 		c.xbar.Send(func() {}) // dirty data occupies the crossbar
 	}
 	c.l2.put(c.ID, w.lineAddr, w.dirty)
-	w.valid = false
+	c.store.invalidate(w)
 	w.state = Invalid
 	w.dirty = false
 }
@@ -402,7 +420,7 @@ func (c *L1) invalidateLine(lineAddr uint64) (wasDirty bool) {
 	}
 	c.Stats.Invalidates++
 	wasDirty = w.dirty
-	w.valid = false
+	c.store.invalidate(w)
 	w.state = Invalid
 	w.dirty = false
 	return wasDirty
@@ -426,7 +444,7 @@ func (c *L1) downgradeLine(lineAddr uint64) (wasDirty bool) {
 
 // OutstandingMisses reports the number of busy MSHRs (used by tests and the
 // MLP statistics).
-func (c *L1) OutstandingMisses() int { return len(c.mshrs) }
+func (c *L1) OutstandingMisses() int { return c.mshrs.len() }
 
 // MissRate returns misses (primary + coalesced) over accesses.
 func (s L1Stats) MissRate() float64 {

@@ -64,7 +64,7 @@ type L2 struct {
 	dram *DRAM
 	l1s  []*L1
 
-	mshrs    map[uint64]*l2MSHR
+	mshrs    mshrTable[*l2MSHR]
 	mshrPool []*l2MSHR // free list; retired MSHRs keep their reqs capacity
 
 	// lookups is the tag-pipeline FIFO: LookupLat is constant, so requests
@@ -101,7 +101,8 @@ func (hp *l2LookupHop) HandleEvent(uint64) {
 }
 
 func (hp *l2FillHop) HandleEvent(lineAddr uint64) {
-	hp.l.fill(hp.l.mshrs[lineAddr])
+	m, _ := hp.l.mshrs.get(lineAddr)
+	hp.l.fill(m)
 }
 
 // NewL2 builds the shared cache in front of dram. trace is the per-System
@@ -115,7 +116,7 @@ func NewL2(q *engine.Queue, cfg L2Config, dram *DRAM, trace *obs.Trace) *L2 {
 		st:    newStore(cfg.SizeBytes, cfg.Ways, cfg.LineSize),
 		cfg:   cfg,
 		dram:  dram,
-		mshrs: make(map[uint64]*l2MSHR),
+		mshrs: newMSHRTable[*l2MSHR](cfg.MSHRs),
 		trace: trace,
 	}
 	l.lookupHop = l2LookupHop{l}
@@ -214,7 +215,7 @@ func (l *L2) putMSHR(m *l2MSHR) {
 }
 
 func (l *L2) missPath(lineAddr uint64, r l2Req) {
-	if m, ok := l.mshrs[lineAddr]; ok {
+	if m, ok := l.mshrs.get(lineAddr); ok {
 		l.Stats.Merges++
 		m.reqs = append(m.reqs, r)
 		return
@@ -225,20 +226,23 @@ func (l *L2) missPath(lineAddr uint64, r l2Req) {
 			Unit: r.from, Warp: -1, PC: -1, Addr: lineAddr})
 	}
 	// The L2 has 256 MSHRs (Table 3); at simulated scale the bound is never
-	// the limiter, but respect it anyway by queuing behind an arbitrary
-	// existing MSHR when full (bounded structures should stay bounded).
-	if len(l.mshrs) >= l.cfg.MSHRs {
+	// the limiter, but respect it anyway by queuing behind the first
+	// occupied table slot when full (bounded structures should stay
+	// bounded). Slot order is deterministic, unlike the map range this
+	// replaced.
+	if l.mshrs.len() >= l.cfg.MSHRs {
 		l.Stats.MSHRFull++
-		for _, m := range l.mshrs {
+		l.mshrs.scan(func(_ uint64, m *l2MSHR) bool {
 			m.reqs = append(m.reqs, r)
-			return
-		}
+			return false
+		})
+		return
 	}
 	m := l.getMSHR()
 	m.lineAddr = lineAddr
 	m.reqs = append(m.reqs, r)
-	l.mshrs[lineAddr] = m
-	if n := uint64(len(l.mshrs)); n > l.Stats.MSHRPeak {
+	l.mshrs.put(lineAddr, m)
+	if n := uint64(l.mshrs.len()); n > l.Stats.MSHRPeak {
 		l.Stats.MSHRPeak = n
 	}
 	if l.trace != nil {
@@ -255,12 +259,12 @@ func (l *L2) fill(m *l2MSHR) {
 		w = l.st.victim(m.lineAddr)
 		l.evict(w)
 		w.valid = true
-		w.lineAddr = m.lineAddr
+		l.st.setLine(w, m.lineAddr)
 		w.dirty = false
 		w.sharers = 0
 		w.owner = -1
 	}
-	delete(l.mshrs, m.lineAddr)
+	l.mshrs.del(m.lineAddr)
 	for _, r := range m.reqs {
 		l.grant(w, r)
 	}
@@ -294,7 +298,7 @@ func (l *L2) evict(w *way) {
 		}
 		l.dram.Writeback()
 	}
-	w.valid = false
+	l.st.invalidate(w)
 	w.sharers = 0
 	w.owner = -1
 	w.dirty = false
@@ -302,7 +306,7 @@ func (l *L2) evict(w *way) {
 
 // OutstandingMisses reports the number of busy MSHRs (the timeline
 // sampler reads this as the L2 MSHR occupancy).
-func (l *L2) OutstandingMisses() int { return len(l.mshrs) }
+func (l *L2) OutstandingMisses() int { return l.mshrs.len() }
 
 // put records an L1 eviction (clean or dirty) so the directory stays
 // precise. Dirty data merges into the L2 copy.

@@ -1,5 +1,7 @@
 package mem
 
+import "math/bits"
+
 // Coherence is the MESI state of a line held in an L1 cache.
 type Coherence uint8
 
@@ -31,6 +33,7 @@ func (c Coherence) String() string {
 // only by the L2; an L1 uses state/dirty.
 type way struct {
 	lineAddr uint64
+	idx      int32 // position in frames/tags, fixed at construction
 	valid    bool
 	state    Coherence
 	dirty    bool
@@ -40,13 +43,25 @@ type way struct {
 }
 
 // store is a set-associative line array with LRU replacement. Ways == 0 at
-// construction selects full associativity.
+// construction selects full associativity. The frames live in one flat
+// array (set i is frames[i*ways : (i+1)*ways]): set selection is a shift
+// and mask plus one bounds-checked reslice, with no per-set slice headers
+// to chase — this lookup runs on every simulated cache access.
 type store struct {
-	sets     [][]way
+	frames []way
+	// tags mirrors frames' lineAddr fields in a dense array: lookup's tag
+	// probe then touches one or two cache lines per set instead of striding
+	// across 48-byte frames. Kept in sync by setLine/invalidate.
+	tags     []uint64
 	numSets  int
 	ways     int
 	lineSize uint64
-	useClock uint64
+	// lineShift/setMask turn setOf's divide+modulo into shift+and.
+	// numSets is lines/ways and may not be a power of two for odd way
+	// counts; setMask < 0 selects the slow modulo path then.
+	lineShift uint
+	setMask   int64
+	useClock  uint64
 }
 
 func newStore(sizeBytes, ways int, lineSize uint64) *store {
@@ -65,33 +80,73 @@ func newStore(sizeBytes, ways int, lineSize uint64) *store {
 		numSets = 1
 	}
 	s := &store{
-		sets:     make([][]way, numSets),
-		numSets:  numSets,
-		ways:     ways,
-		lineSize: lineSize,
+		frames:    make([]way, numSets*ways),
+		tags:      make([]uint64, numSets*ways),
+		numSets:   numSets,
+		ways:      ways,
+		lineSize:  lineSize,
+		lineShift: uint(bits.TrailingZeros64(lineSize)),
+		setMask:   -1,
 	}
-	for i := range s.sets {
-		s.sets[i] = make([]way, ways)
-		for j := range s.sets[i] {
-			s.sets[i][j].owner = -1
-		}
+	if numSets&(numSets-1) == 0 {
+		s.setMask = int64(numSets - 1)
+	}
+	for i := range s.frames {
+		s.frames[i].owner = -1
+		s.frames[i].idx = int32(i)
+		s.frames[i].lineAddr = invalidLine
+		s.tags[i] = invalidLine
 	}
 	return s
+}
+
+// invalidLine is the lineAddr held by invalid frames. Real line addresses
+// are line-aligned (low bits zero, lineSize ≥ 2), so all-ones can never
+// match one — lookup compares addresses alone, no valid-flag load.
+const invalidLine = ^uint64(0)
+
+// invalidate releases a frame, restoring the invalid-frame address
+// sentinel that keeps lookup's single-compare scan sound. Every site that
+// clears valid must go through here.
+func (s *store) invalidate(w *way) {
+	w.valid = false
+	w.lineAddr = invalidLine
+	s.tags[w.idx] = invalidLine
+}
+
+// setLine installs a line address into a frame, keeping the dense tag
+// array in sync. Every site that writes lineAddr must go through here or
+// invalidate.
+func (s *store) setLine(w *way, lineAddr uint64) {
+	w.lineAddr = lineAddr
+	s.tags[w.idx] = lineAddr
 }
 
 // Line returns the line-aligned address containing addr.
 func (s *store) Line(addr uint64) uint64 { return addr &^ (s.lineSize - 1) }
 
-func (s *store) setOf(lineAddr uint64) []way {
-	return s.sets[(lineAddr/s.lineSize)%uint64(s.numSets)]
+func (s *store) baseOf(lineAddr uint64) int {
+	idx := int((lineAddr >> s.lineShift) & uint64(s.setMask))
+	if s.setMask < 0 {
+		idx = int((lineAddr >> s.lineShift) % uint64(s.numSets))
+	}
+	return idx * s.ways
 }
 
-// lookup returns the frame holding lineAddr, or nil.
+func (s *store) setOf(lineAddr uint64) []way {
+	base := s.baseOf(lineAddr)
+	return s.frames[base : base+s.ways]
+}
+
+// lookup returns the frame holding lineAddr, or nil. Invalid frames hold
+// the invalidLine sentinel, so one compare per way suffices — against the
+// dense tag array, not the frames themselves.
 func (s *store) lookup(lineAddr uint64) *way {
-	set := s.setOf(lineAddr)
-	for i := range set {
-		if set[i].valid && set[i].lineAddr == lineAddr {
-			return &set[i]
+	base := s.baseOf(lineAddr)
+	tags := s.tags[base : base+s.ways]
+	for i := range tags {
+		if tags[i] == lineAddr {
+			return &s.frames[base+i]
 		}
 	}
 	return nil
@@ -121,11 +176,9 @@ func (s *store) victim(lineAddr uint64) *way {
 
 // forEachValid visits every valid frame (used for statistics and tests).
 func (s *store) forEachValid(fn func(*way)) {
-	for i := range s.sets {
-		for j := range s.sets[i] {
-			if s.sets[i][j].valid {
-				fn(&s.sets[i][j])
-			}
+	for i := range s.frames {
+		if s.frames[i].valid {
+			fn(&s.frames[i])
 		}
 	}
 }

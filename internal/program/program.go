@@ -98,8 +98,20 @@ type Program struct {
 	// not cost a map lookup.
 	uniformBranch []bool
 
+	// decoded is the dispatch-ready lowering of Code the WPU issue loop
+	// consumes: one isa.Decoded per pc, with the analysis-driven flags
+	// (uniform, subdividable) and the verified re-convergence pc folded in
+	// so an issue never touches the branches/reconv maps. Populated by
+	// Build after verification passes.
+	decoded []isa.Decoded
+
 	verified bool
 }
+
+// Decoded returns the dispatch-ready instruction stream, index-parallel
+// with Code. The slice is shared, not copied: it is the WPU's hot-path
+// view of the program and must not be mutated.
+func (p *Program) Decoded() []isa.Decoded { return p.decoded }
 
 // UniformBranch reports whether the branch at pc was proved uniform by
 // the divergence analysis (constant time; hot path of the WPU front end).
@@ -534,6 +546,25 @@ func (b *Builder) Build() (*Program, error) {
 			r = p.Blocks[d].Start
 		}
 		p.reconv[pc] = r
+	}
+
+	// Lower the verified program into the pre-decoded dispatch stream,
+	// folding in the per-branch analysis verdicts and the verified
+	// re-convergence table so issue-time dispatch never consults a map.
+	p.decoded = isa.DecodeProgram(code)
+	for pc := range p.decoded {
+		d := &p.decoded[pc]
+		if d.Kind != isa.KindBranch {
+			continue
+		}
+		bi := p.branches[pc]
+		if bi.Uniform {
+			d.Flags |= isa.DFUniform
+		}
+		if bi.Subdividable {
+			d.Flags |= isa.DFSubdiv
+		}
+		d.Reconv = int32(p.reconv[pc])
 	}
 	p.verified = true
 	return p, nil

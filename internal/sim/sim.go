@@ -201,11 +201,18 @@ func (s *System) run() error {
 
 		s.Q.RunUntil(s.cycle)
 		progressBefore := s.totalProgress()
+		// Barrier state only changes inside a WPU's own Tick (or the release
+		// below), so folding the at-barrier check into the tick loop sees
+		// exactly what a separate scan after the loop would.
+		atBarrier := false
 		for _, w := range s.WPUs {
 			w.Tick()
+			if w.AnyAtBarrier() {
+				atBarrier = true
+			}
 		}
 		released := false
-		if s.anyAtBarrier() && s.allBarrierReady() {
+		if atBarrier && s.allBarrierReady() {
 			for _, w := range s.WPUs {
 				w.ReleaseBarrier()
 			}
@@ -236,15 +243,6 @@ func (s *System) totalProgress() uint64 {
 		n += w.Progress()
 	}
 	return n
-}
-
-func (s *System) anyAtBarrier() bool {
-	for _, w := range s.WPUs {
-		if w.AnyAtBarrier() {
-			return true
-		}
-	}
-	return false
 }
 
 func (s *System) allBarrierReady() bool {

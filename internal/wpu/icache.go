@@ -24,6 +24,12 @@ type icacheLine struct {
 type icache struct {
 	sets  [][]icacheLine
 	clock uint64
+	// MRU shortcut: sequential fetches hit the same line ~instPerLine times
+	// in a row; revalidating a cached way pointer skips the set walk. The
+	// pointer aims into sets' backing arrays (never reallocated), and the
+	// tag check makes a stale pointer merely miss the shortcut.
+	lastLineNo int
+	lastWay    *icacheLine
 
 	Fetches uint64
 	Misses  uint64
@@ -44,21 +50,39 @@ func newICache(lines, ways int) *icache {
 	for i := range c.sets {
 		c.sets[i] = make([]icacheLine, ways)
 	}
+	// lastLineNo = -1 never matches a real line number (PCs are ≥ 0), so
+	// the fast path needs no nil or validity test on lastWay: a matching
+	// lastLineNo implies lastWay was hit or filled for that very line, and
+	// frames only ever change tag through a refill (re-checked by tag).
+	c.lastLineNo = -1
+	c.lastWay = &c.sets[0][0]
 	return c
 }
 
 // Fetch looks up the line holding the instruction at pc, filling on miss.
-// It reports whether the fetch hit.
+// It reports whether the fetch hit. The body is only the MRU fast path so
+// it inlines into issueOne; the set walk lives in fetchWalk.
 func (c *icache) Fetch(pc int) bool {
 	c.Fetches++
 	c.clock++
 	lineNo := pc / icacheInstPerLine
+	if w := c.lastWay; lineNo == c.lastLineNo && w.tag == lineNo {
+		w.lastUse = c.clock
+		return true
+	}
+	return c.fetchWalk(lineNo)
+}
+
+// fetchWalk is Fetch's slow path: the set-associative walk and, on miss,
+// the LRU fill.
+func (c *icache) fetchWalk(lineNo int) bool {
 	set := c.sets[lineNo%len(c.sets)]
 	victim := &set[0]
 	for i := range set {
 		w := &set[i]
 		if w.valid && w.tag == lineNo {
 			w.lastUse = c.clock
+			c.lastLineNo, c.lastWay = lineNo, w
 			return true
 		}
 		switch {
@@ -72,5 +96,6 @@ func (c *icache) Fetch(pc int) bool {
 	victim.valid = true
 	victim.tag = lineNo
 	victim.lastUse = c.clock
+	c.lastLineNo, c.lastWay = lineNo, victim
 	return false
 }

@@ -387,7 +387,7 @@ func TestNestedDivergenceWithMixedHalts(t *testing.T) {
 		for lane := 0; lane < 8; lane++ {
 			for wi := 0; wi < 2; wi++ {
 				tid := wi*8 + lane
-				got := w.warps[wi].regs[lane].Get(11)
+				got := w.warps[wi].regs.Get(lane, 11)
 				want := int64(11) // inner A path
 				switch {
 				case tid&1 == 1:

@@ -1,0 +1,59 @@
+package wpu
+
+// BenchmarkIssueALU pins the cost of the issue loop on ALU-dense code: the
+// pre-decoded dispatch in issueOne, the mask scheduler, and the SoA lane
+// loops in isa.ExecALULanes. It is one of the cmd/dwsbench gate's suites,
+// so regressions on the per-instruction fast path fail CI.
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// aluKernel is a loop of straight-line integer and float ALU work: eight
+// data instructions per iteration, 512 iterations, no memory traffic, so
+// issue and execute dominate end to end.
+func aluKernel() *program.Program {
+	pb := program.NewBuilder("issue-alu")
+	pb.Movi(4, 0)
+	pb.Movi(5, 3)
+	pb.Fmovi(8, 1.5)
+	pb.Label("head")
+	pb.Addi(4, 4, 1)
+	pb.Mul(6, 4, 5)
+	pb.Xor(7, 6, 4)
+	pb.Shli(7, 7, 2)
+	pb.Fmul(9, 8, 8)
+	pb.Fadd(8, 9, 8)
+	pb.Max(6, 6, 7)
+	pb.Slti(10, 4, 512)
+	pb.Bnez(10, "head")
+	pb.Halt()
+	return pb.MustBuild()
+}
+
+func BenchmarkIssueALU(b *testing.B) {
+	p := aluKernel()
+	cfg := SchemeBranchOnly.Apply(Config{Warps: 4, Width: 8})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, q := benchWPU(b, cfg)
+		regs := make([]isa.RegFile, cfg.Warps*cfg.Width)
+		for tid := range regs {
+			regs[tid].Set(1, int64(tid))
+		}
+		if err := w.Launch(p, regs); err != nil {
+			b.Fatal(err)
+		}
+		var cycle engine.Cycle
+		for !w.Done() {
+			q.RunUntil(cycle)
+			w.Tick()
+			cycle++
+		}
+	}
+}

@@ -43,7 +43,7 @@ func (w *WPU) trySlip(s *Split, hitMask, missMask Mask) bool {
 
 	s.mask = hitMask
 	s.stack[0].Mask = hitMask
-	s.state = WaitMem // the hits still pay the hit latency
+	w.setState(s, WaitMem) // the hits still pay the hit latency
 	s.pending = hitMask
 	w.assignOwner(s, hitMask)
 	return true
@@ -61,7 +61,7 @@ func (e *slipEntry) onLineDone(lanes Mask) {
 	s := e.split
 	if e.pending.Empty() && s.state == WaitSlip {
 		if s.warp.wpu.slipSwapIn(s) {
-			s.state = Ready
+			s.warp.wpu.setState(s, Ready)
 		}
 	}
 }
@@ -127,7 +127,7 @@ func (w *WPU) slipSwapIn(s *Split) bool {
 func (w *WPU) promoteSlipEntry(s *Split, e *slipEntry) {
 	ns := w.newSplit(s.warp, e.mask, e.pc, e.scope)
 	if !e.pending.Empty() {
-		ns.state = WaitMem
+		w.setState(ns, WaitMem) // via setState: the memWait count must see it
 		ns.pending = e.pending
 		e.asSplit = ns // in-flight completions now target the split
 	}

@@ -130,8 +130,12 @@ type Split struct {
 	// near-lockstep (Figure 6d) and PC-based re-convergence can catch them.
 	prog uint64
 
-	// resident: holds one of the scheduler's bounded slots (§6.6).
+	// resident: holds one of the scheduler's bounded slots (§6.6);
+	// slotIdx is the held slot's index (meaningful only while resident),
+	// kept so state transitions can update the scheduler's ready bitmask
+	// without searching the slot array.
 	resident bool
+	slotIdx  int
 
 	// Adaptive slip state (slip modes only).
 	slipped []*slipEntry
@@ -188,11 +192,14 @@ type completionTarget interface {
 }
 
 // Warp is one set of lanes sharing a register file and (initially) a PC.
+// The register file is struct-of-arrays over lanes (isa.LaneRegs): register
+// r across all lanes is one contiguous row, so the per-instruction execute
+// loop streams over the active lanes instead of dispatching per lane.
 type Warp struct {
 	id     int
 	wpu    *WPU
-	regs   []isa.RegFile // indexed by lane
-	live   Mask          // lanes with launched threads
+	regs   *isa.LaneRegs
+	live   Mask // lanes with launched threads
 	halted Mask
 	splits []*Split
 }

@@ -104,8 +104,8 @@ func TestUniformFastPathPreservesSemantics(t *testing.T) {
 	for wi := range fast.warps {
 		for lane := 0; lane < 4; lane++ {
 			for _, r := range []isa.Reg{4, 5, 6} {
-				got := fast.warps[wi].regs[lane].Get(r)
-				want := slow.warps[wi].regs[lane].Get(r)
+				got := fast.warps[wi].regs.Get(lane, r)
+				want := slow.warps[wi].regs.Get(lane, r)
 				if got != want {
 					t.Fatalf("warp %d lane %d r%d: fast=%d slow=%d", wi, lane, r, got, want)
 				}

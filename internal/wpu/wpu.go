@@ -2,6 +2,7 @@ package wpu
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/engine"
 	"repro/internal/isa"
@@ -22,6 +23,10 @@ type WPU struct {
 	l1   *mem.L1
 	fmem *mem.Memory
 	prog *program.Program
+	// code is the running program's pre-decoded dispatch stream (cached at
+	// Launch): the issue loop indexes it once per instruction and switches
+	// on the dense Kind instead of re-classifying isa.Op per issue.
+	code []isa.Decoded
 
 	// trace is the per-System observability sink (nil = disabled). Every
 	// emission site nil-checks it so untraced runs pay a single branch.
@@ -35,9 +40,32 @@ type WPU struct {
 	slotWait []*Split
 	rrNext   int
 	cur      *Split
+	// readyMask mirrors "slots[i] holds a Ready split" per bit, so the
+	// per-cycle scheduler scan only visits ready slots. Maintained by
+	// acquireSlot/releaseSlot/admitWaiter and setState; usable only while
+	// the slot count fits the word (maskSched).
+	readyMask uint64
+	maskSched bool
+	// slotProg mirrors slots[i].prog for resident splits, packed as
+	// prog<<6|i: the per-cycle least-progressed scan min-reduces this
+	// dense row (no Split pointer chased, no branch mispredicts) and the
+	// low bits of the winner give the slot back. The packing preserves
+	// ordering within one scan partition because equal progs tie-break to
+	// the lower slot index there anyway. Synced by acquireSlot/admitWaiter
+	// and syncProg at every prog mutation of a resident split; meaningful
+	// only under maskSched (slot indices then fit the 6 low bits).
+	slotProg []uint64
 
 	splitCount  int // live scheduling entities, bounded by WSTEntries
 	nextSplitID int
+	// atBarrier counts splits parked at the kernel barrier and unhalted
+	// counts live not-yet-halted threads; both make the per-cycle driver
+	// queries (AnyAtBarrier, Done) O(1) instead of warp×split scans.
+	atBarrier int
+	// memWait counts splits in WaitMem/WaitSlip so stallCycle classifies
+	// most stalls without scanning. Maintained by setState/removeSplit.
+	memWait  int
+	unhalted int
 
 	launched bool
 	// progress counts state transitions that advance the machine without
@@ -52,9 +80,13 @@ type WPU struct {
 	icache          *icache
 	fetchStallUntil engine.Cycle
 	refill          wpuRefill
-	progBases       map[*program.Program]int
-	nextProgBase    int
-	fetchBase       int
+	// progBases assigns each distinct program its fetch-address range. It
+	// is a small insertion-ordered slice, not a pointer-keyed map: a WPU
+	// sees a handful of programs per workload, and pointer-keyed maps are
+	// a determinism hazard (see cmd/dwslint's ptrmaprange check).
+	progBases    []progBase
+	nextProgBase int
+	fetchBase    int
 
 	// execMem scratch, reused across instructions: the coalesced line
 	// groups of the instruction being issued, and the pooled completion
@@ -93,16 +125,20 @@ func New(id int, q *engine.Queue, cfg Config, l1 *mem.L1, fmem *mem.Memory, trac
 		return nil, err
 	}
 	w := &WPU{
-		ID:      id,
-		cfg:     cfg,
-		q:       q,
-		l1:      l1,
-		fmem:    fmem,
-		trace:   trace,
-		slots:   make([]*Split, cfg.SchedSlots),
-		icache:  newICache(cfg.ICacheLines, cfg.ICacheWays),
-		maxSlip: cfg.Width / 2,
+		ID:    id,
+		cfg:   cfg,
+		q:     q,
+		l1:    l1,
+		fmem:  fmem,
+		trace: trace,
+		slots: make([]*Split, cfg.SchedSlots),
+		// Always 64 wide (not SchedSlots): pickNextMask reinterprets the
+		// row as *[64]uint64 so its scan loop carries no bounds checks.
+		slotProg: make([]uint64, max(cfg.SchedSlots, 64)),
+		icache:   newICache(cfg.ICacheLines, cfg.ICacheWays),
+		maxSlip:  cfg.Width / 2,
 	}
+	w.maskSched = cfg.SchedSlots <= 64
 	w.refill = wpuRefill{w}
 	w.Stats.ThreadMisses = make([][]uint64, cfg.Warps)
 	for i := range w.Stats.ThreadMisses {
@@ -112,10 +148,16 @@ func New(id int, q *engine.Queue, cfg Config, l1 *mem.L1, fmem *mem.Memory, trac
 		w.warps = append(w.warps, &Warp{
 			id:   i,
 			wpu:  w,
-			regs: make([]isa.RegFile, cfg.Width),
+			regs: isa.NewLaneRegs(cfg.Width),
 		})
 	}
 	return w, nil
+}
+
+// progBase records the fetch-address range assigned to one program.
+type progBase struct {
+	prog *program.Program
+	base int
 }
 
 // wpuRefill is the icache refill completion: a pre-bound handler so a cold
@@ -139,7 +181,9 @@ type lineGroup struct {
 func (w *WPU) HandleEvent(arg uint64) {
 	tok := &w.tokens[arg]
 	owner, lanes := tok.owner, tok.lanes
-	tok.owner = nil
+	// The stale owner pointer stays in the pool slot — clearing it here
+	// would cost a write barrier per completion, and allocToken overwrites
+	// the slot before the token can be read again.
 	w.freeTok = append(w.freeTok, int32(arg))
 	owner.onLineDone(lanes)
 }
@@ -150,7 +194,11 @@ func (w *WPU) allocToken(lanes Mask) int32 {
 	if n := len(w.freeTok); n > 0 {
 		ti := w.freeTok[n-1]
 		w.freeTok = w.freeTok[:n-1]
-		w.tokens[ti] = memToken{lanes: lanes}
+		// Refresh lanes only: zeroing the interface field would cost a
+		// write barrier per access, and every execMem exit path routes
+		// assignOwner over the full hit∪miss mask — which covers every
+		// group — before a completion event can fire.
+		w.tokens[ti].lanes = lanes
 		return ti
 	}
 	w.tokens = append(w.tokens, memToken{lanes: lanes})
@@ -224,13 +272,17 @@ func (w *WPU) Launch(prog *program.Program, regs []isa.RegFile) error {
 		return fmt.Errorf("wpu %d: program %q has not passed the static verifier", w.ID, prog.Name)
 	}
 	w.prog = prog
-	if w.progBases == nil {
-		w.progBases = make(map[*program.Program]int)
+	w.code = prog.Decoded()
+	base := -1
+	for _, pb := range w.progBases {
+		if pb.prog == prog {
+			base = pb.base
+			break
+		}
 	}
-	base, ok := w.progBases[prog]
-	if !ok {
+	if base < 0 {
 		base = w.nextProgBase
-		w.progBases[prog] = base
+		w.progBases = append(w.progBases, progBase{prog: prog, base: base})
 		// Round the next base up to a line boundary past this program.
 		w.nextProgBase = base + (len(prog.Code)/icacheInstPerLine+1)*icacheInstPerLine
 	}
@@ -242,18 +294,26 @@ func (w *WPU) Launch(prog *program.Program, regs []isa.RegFile) error {
 	for i := range w.slots {
 		w.slots[i] = nil
 	}
+	w.readyMask = 0
 	w.splitCount = 0
+	w.atBarrier = 0
+	w.memWait = 0
+	w.unhalted = 0
 	for wi, warp := range w.warps {
 		warp.live = 0
 		warp.halted = 0
 		warp.splits = nil
-		for l := 0; l < w.cfg.Width; l++ {
-			ti := wi*w.cfg.Width + l
-			if ti < len(regs) {
-				warp.regs[l] = regs[ti]
+		if start := wi * w.cfg.Width; start < len(regs) {
+			cnt := len(regs) - start
+			if cnt > w.cfg.Width {
+				cnt = w.cfg.Width
+			}
+			warp.regs.SetThreads(regs[start : start+cnt])
+			for l := 0; l < cnt; l++ {
 				warp.live |= LaneMask(l)
 			}
 		}
+		w.unhalted += warp.live.Count()
 		if warp.live != 0 {
 			root := w.newSplit(warp, warp.live, 0, nil)
 			root.state = Ready
@@ -268,12 +328,7 @@ func (w *WPU) Done() bool {
 	if !w.launched {
 		return true
 	}
-	for _, warp := range w.warps {
-		if warp.liveUnhalted() != 0 {
-			return false
-		}
-	}
-	return w.splitCount == 0
+	return w.unhalted == 0 && w.splitCount == 0
 }
 
 // newSplit allocates a split with a fresh base stack.
@@ -338,6 +393,11 @@ func (w *WPU) acquireSlot(s *Split) {
 		if w.slots[i] == nil {
 			w.slots[i] = s
 			s.resident = true
+			s.slotIdx = i
+			w.syncProg(s)
+			if s.state == Ready {
+				w.readyMask |= 1 << uint(i)
+			}
 			return
 		}
 	}
@@ -355,6 +415,7 @@ func (w *WPU) releaseSlot(s *Split) {
 	for i := range w.slots {
 		if w.slots[i] == s {
 			w.slots[i] = nil
+			w.readyMask &^= 1 << uint(i)
 			w.admitWaiter(i)
 			return
 		}
@@ -375,6 +436,12 @@ func (w *WPU) removeSplit(s *Split) {
 		w.cur = nil
 	}
 	w.releaseSlot(s)
+	if s.state == AtBarrier {
+		w.atBarrier--
+	}
+	if s.state == WaitMem || s.state == WaitSlip {
+		w.memWait--
+	}
 	s.state = Dead
 	// Recycle the stack: dead splits may live on as wait-merge forwarding
 	// stubs (mergedInto), but forwarding never touches the stack. Nil it so
@@ -394,7 +461,44 @@ func (w *WPU) admitWaiter(slot int) {
 		}
 		w.slots[slot] = c
 		c.resident = true
+		c.slotIdx = slot
+		w.syncProg(c)
+		if c.state == Ready {
+			w.readyMask |= 1 << uint(slot)
+		}
 		return
+	}
+}
+
+// syncProg mirrors a resident split's progress counter into the dense
+// slotProg row scanned by pickNextMask. Every prog mutation of a split
+// that may hold a slot must be followed by a call here.
+func (w *WPU) syncProg(s *Split) {
+	if s.resident {
+		w.slotProg[s.slotIdx] = s.prog<<6 | uint64(s.slotIdx&63)
+	}
+}
+
+// setState transitions a split's scheduling state, keeping the ready-slot
+// bitmask in sync for resident splits. Every transition of a split that may
+// hold a slot must go through here.
+func (w *WPU) setState(s *Split, st SplitState) {
+	wasWait := s.state == WaitMem || s.state == WaitSlip
+	isWait := st == WaitMem || st == WaitSlip
+	if wasWait != isWait {
+		if isWait {
+			w.memWait++
+		} else {
+			w.memWait--
+		}
+	}
+	s.state = st
+	if s.resident {
+		if st == Ready {
+			w.readyMask |= 1 << uint(s.slotIdx)
+		} else {
+			w.readyMask &^= 1 << uint(s.slotIdx)
+		}
 	}
 }
 
@@ -428,7 +532,13 @@ func (w *WPU) Tick() {
 		w.stallCycle()
 		return
 	}
-	w.cur = w.pickNext()
+	// Dispatch straight to the mask scheduler in the common configuration:
+	// going through pickNext would cost a second call per simulated cycle.
+	if w.maskSched {
+		w.cur = w.pickNextMask()
+	} else {
+		w.cur = w.pickNext()
+	}
 	if w.cur == nil && (w.cfg.MemScheme == ReviveSplit || w.cfg.MemScheme == PredictiveSplit) {
 		if w.tryRevive() {
 			w.cur = w.pickNext()
@@ -444,17 +554,22 @@ func (w *WPU) Tick() {
 }
 
 func (w *WPU) stallCycle() {
-	for _, warp := range w.warps {
-		for _, s := range warp.splits {
-			if s.state == WaitMem || s.state == WaitSlip {
-				w.Stats.StallMemCycles++
-				w.intervalWait++
-				return
-			}
-			if len(s.slipped) > 0 {
-				w.Stats.StallMemCycles++
-				w.intervalWait++
-				return
+	// memWait counts WaitMem/WaitSlip splits, so the common classification
+	// is O(1); fall-behind slip groups (possible only in slip modes) still
+	// need the scan when no split is waiting.
+	if w.memWait > 0 {
+		w.Stats.StallMemCycles++
+		w.intervalWait++
+		return
+	}
+	if w.cfg.Slip != SlipOff {
+		for _, warp := range w.warps {
+			for _, s := range warp.splits {
+				if len(s.slipped) > 0 {
+					w.Stats.StallMemCycles++
+					w.intervalWait++
+					return
+				}
 			}
 		}
 	}
@@ -467,34 +582,124 @@ func (w *WPU) stallCycle() {
 // divergent siblings near-lockstep — the interleaving of Figure 6d — so
 // they re-converge promptly instead of chasing each other through loops.
 func (w *WPU) pickNext() *Split {
+	if w.maskSched {
+		return w.pickNextMask()
+	}
 	n := len(w.slots)
 	var best *Split
 	bestIdx := -1
+	// Wrap by comparison, not modulo: this runs every simulated cycle and
+	// an integer divide per slot dominates the scan.
+	idx := w.rrNext
 	for i := 0; i < n; i++ {
-		idx := (w.rrNext + i) % n
+		if idx >= n {
+			idx = 0
+		}
 		s := w.slots[idx]
 		if s == nil || s.state != Ready {
+			idx++
 			continue
 		}
 		if w.cfg.DisableProgSched {
 			// Ablation: plain round-robin.
-			w.rrNext = (idx + 1) % n
+			w.rrNext = idx + 1
+			if w.rrNext >= n {
+				w.rrNext = 0
+			}
 			return s
 		}
 		if best == nil || s.prog < best.prog {
 			best, bestIdx = s, idx
 		}
+		idx++
 	}
 	if best != nil {
-		w.rrNext = (bestIdx + 1) % n
+		w.rrNext = bestIdx + 1
+		if w.rrNext >= n {
+			w.rrNext = 0
+		}
 	}
 	return best
 }
 
+// pickNextMask is pickNext over the ready-slot bitmask: identical selection
+// (round-robin start, least-progressed wins, earlier slot in round-robin
+// order breaks ties) visiting only ready slots. Splitting the mask at
+// rrNext preserves the rotation: bits at or past rrNext scan first.
+func (w *WPU) pickNextMask() *Split {
+	m := w.readyMask
+	if m == 0 {
+		return nil
+	}
+	n := len(w.slots)
+	if m&(m-1) == 0 {
+		// One ready slot: every policy picks it.
+		idx := bits.TrailingZeros64(m)
+		w.rrNext = idx + 1
+		if w.rrNext >= n {
+			w.rrNext = 0
+		}
+		return w.slots[idx]
+	}
+	// rrNext is always wrapped into [0, n) ⊆ [0, 63]; the &63 lets the
+	// compiler drop the oversized-shift guards.
+	r := uint(w.rrNext) & 63
+	hi := m >> r << r
+	lo := m ^ hi
+	if w.cfg.DisableProgSched {
+		// Ablation: plain round-robin — first ready in rotation.
+		part := hi
+		if part == 0 {
+			part = lo
+		}
+		idx := bits.TrailingZeros64(part)
+		w.rrNext = idx + 1
+		if w.rrNext >= n {
+			w.rrNext = 0
+		}
+		return w.slots[idx]
+	}
+	// Least-progressed scan over the dense packed slotProg row: a pure
+	// min-reduction per partition (compiled to CMOV — no data-dependent
+	// branch), with the winning slot index recovered from the low bits.
+	// A lower slot index wins prog ties within a partition, matching the
+	// scan order; across partitions hi wins ties, so lo's winner is taken
+	// only on strictly smaller prog.
+	prog := (*[64]uint64)(w.slotProg)
+	bestHi := ^uint64(0)
+	for b := hi; b != 0; b &= b - 1 {
+		bestHi = min(bestHi, prog[bits.TrailingZeros64(b)&63])
+	}
+	bestLo := ^uint64(0)
+	for b := lo; b != 0; b &= b - 1 {
+		bestLo = min(bestLo, prog[bits.TrailingZeros64(b)&63])
+	}
+	best := bestHi
+	if bestLo>>6 < bestHi>>6 {
+		best = bestLo
+	}
+	idx := int(best & 63)
+	w.rrNext = idx + 1
+	if w.rrNext >= n {
+		w.rrNext = 0
+	}
+	return w.slots[idx]
+}
+
 // issueOne executes one instruction for the split's active mask. It
 // returns false when the cycle degenerated into a stall (slip swap wait).
+// The instruction comes from the pre-decoded dispatch stream: one index,
+// one switch on the dense Kind, and per-op lane loops inside the arms.
 func (w *WPU) issueOne(s *Split) bool {
-	if !w.icache.Fetch(w.fetchBase + s.pc) {
+	// Hand-inlined icache.Fetch MRU fast path — the function is over the
+	// inlining budget and this runs once per issued instruction.
+	ic := w.icache
+	ic.Fetches++
+	ic.clock++
+	lineNo := (w.fetchBase + s.pc) / icacheInstPerLine
+	if lw := ic.lastWay; lineNo == ic.lastLineNo && lw.tag == lineNo {
+		lw.lastUse = ic.clock
+	} else if !ic.fetchWalk(lineNo) {
 		w.Stats.IFetchMisses++
 		w.fetchStallUntil = w.q.Now() + engine.Cycle(w.cfg.IMissLat)
 		// The refill is an event: it keeps the machine's clock honest (the
@@ -502,7 +707,7 @@ func (w *WPU) issueOne(s *Split) bool {
 		w.q.ScheduleAt(w.fetchStallUntil, &w.refill, 0)
 		return false
 	}
-	in := w.prog.Code[s.pc]
+	d := &w.code[s.pc]
 
 	// Adaptive slip: absorb fall-behind groups whose PC we revisit (§5.7),
 	// and stall at conditional branches until all slipped threads caught up
@@ -512,12 +717,12 @@ func (w *WPU) issueOne(s *Split) bool {
 		if s.state != Ready {
 			return false
 		}
-		needJoin := in.Op.IsBranch() && w.cfg.Slip == SlipOn
+		needJoin := d.Kind == isa.KindBranch && w.cfg.Slip == SlipOn
 		if needJoin && len(s.slipped) > 0 {
 			if w.slipSwapIn(s) {
-				in = w.prog.Code[s.pc]
+				d = &w.code[s.pc]
 			} else if len(s.slipped) > 0 {
-				s.state = WaitSlip
+				w.setState(s, WaitSlip)
 				return false
 			}
 			// Otherwise all fall-behind groups were promoted to their own
@@ -527,7 +732,7 @@ func (w *WPU) issueOne(s *Split) bool {
 
 	// BranchLimited re-convergence (§5.3.1): memory-divergence splits stall
 	// and re-merge at the next conditional branch.
-	if in.Op.IsBranch() && s.scope != nil && s.scope.limitControl && s.baseStack() {
+	if d.Kind == isa.KindBranch && s.scope != nil && s.scope.limitControl && s.baseStack() {
 		w.arriveAtScope(s)
 		return false
 	}
@@ -536,31 +741,29 @@ func (w *WPU) issueOne(s *Split) bool {
 	w.Stats.BusyCycles++
 	w.intervalBusy++
 	s.prog++
+	w.syncProg(s) // s came from pickNext: always resident
 	width := uint64(s.mask.Count())
 	w.Stats.WidthAccum += width
 	w.Stats.ThreadOps += width
-	if in.Op.IsFloat() {
+	if d.Flags&isa.DFFloat != 0 {
 		w.Stats.FloatOps += width
 	}
 
-	switch {
-	case in.Op == isa.HALT:
+	switch d.Kind {
+	case isa.KindHalt:
 		w.finishHalt(s)
-	case in.Op == isa.BARRIER:
+	case isa.KindBarrier:
 		w.enterBarrier(s)
-	case in.Op == isa.JMP:
-		s.pc = in.Target
+	case isa.KindJmp:
+		s.pc = int(d.Target)
 		w.postPCUpdate(s)
-	case in.Op.IsBranch():
-		w.execBranch(s, in)
-	case in.Op.IsMem():
-		w.execMem(s, in)
+	case isa.KindBranch:
+		w.execBranch(s, d)
+	case isa.KindMem:
+		w.execMem(s, d)
 		w.cur = nil // switch SIMD groups on every cache access (§3.3)
-	default:
-		warp := s.warp
-		s.mask.Lanes(func(lane int) {
-			isa.ExecALU(in, &warp.regs[lane])
-		})
+	default: // KindALU
+		isa.ExecALULanes(d, s.warp.regs, uint64(s.mask))
 		s.pc++
 		w.postPCUpdate(s)
 	}
@@ -630,7 +833,7 @@ func (w *WPU) finishHalt(s *Split) {
 	}
 	if len(s.slipped) > 0 {
 		if !w.slipSwapIn(s) && len(s.slipped) > 0 {
-			s.state = WaitSlip
+			w.setState(s, WaitSlip)
 		}
 		if s.state == WaitSlip || !s.mask.Empty() {
 			return
@@ -640,6 +843,7 @@ func (w *WPU) finishHalt(s *Split) {
 }
 
 func (w *WPU) warpHalt(warp *Warp, mask Mask) {
+	w.unhalted -= (mask &^ warp.halted).Count()
 	warp.halted |= mask
 }
 
@@ -655,11 +859,12 @@ func (w *WPU) enterBarrier(s *Split) {
 			return
 		}
 		if len(s.slipped) > 0 {
-			s.state = WaitSlip
+			w.setState(s, WaitSlip)
 			return
 		}
 	}
-	s.state = AtBarrier
+	w.setState(s, AtBarrier)
+	w.atBarrier++
 	w.releaseSlot(s)
 }
 
@@ -684,16 +889,7 @@ func (w *WPU) BarrierReady() bool {
 }
 
 // AnyAtBarrier reports whether at least one split is parked at a barrier.
-func (w *WPU) AnyAtBarrier() bool {
-	for _, warp := range w.warps {
-		for _, s := range warp.splits {
-			if s.state == AtBarrier {
-				return true
-			}
-		}
-	}
-	return false
-}
+func (w *WPU) AnyAtBarrier() bool { return w.atBarrier > 0 }
 
 // ReleaseBarrier resumes all parked splits past the barrier, re-forming one
 // full SIMD group per warp.
@@ -717,6 +913,7 @@ func (w *WPU) ReleaseBarrier() {
 		root.scope = nil
 		root.pc++
 		root.state = Ready
+		w.atBarrier--
 		root.stack[0] = StackEntry{ReconvPC: program.NoIPdom, PC: root.pc, Mask: root.mask}
 		w.acquireSlot(root)
 		w.progress++
@@ -725,8 +922,11 @@ func (w *WPU) ReleaseBarrier() {
 
 // execBranch evaluates a conditional branch, handling uniform outcomes,
 // dynamic warp subdivision (§4), and conventional stack push serialisation.
-func (w *WPU) execBranch(s *Split, in isa.Inst) {
-	warp := s.warp
+func (w *WPU) execBranch(s *Split, d *isa.Decoded) {
+	// The predicate register across all lanes is one contiguous SoA row;
+	// taken-on-nonzero vs taken-on-zero is a pre-decoded flag.
+	pred := s.warp.regs.Row(d.SrcA)
+	nz := d.Flags&isa.DFBranchNZ != 0
 
 	// Statically-uniform branch fast path: the divergence analysis proved
 	// every lane agrees on this predicate, so evaluate one representative
@@ -734,11 +934,11 @@ func (w *WPU) execBranch(s *Split, in isa.Inst) {
 	// re-convergence bookkeeping. The concordance test (internal/workloads)
 	// runs with this disabled and asserts the analysis never mislabels a
 	// dynamically divergent branch as uniform.
-	if !w.cfg.DisableUniformFast && w.prog.UniformBranch(s.pc) {
+	if !w.cfg.DisableUniformFast && d.Flags&isa.DFUniform != 0 {
 		w.Stats.Branches++
 		w.Stats.UniformBranchFast++
-		if isa.BranchTaken(in, &warp.regs[s.mask.First()]) {
-			s.pc = in.Target
+		if (pred[s.mask.First()] != 0) == nz {
+			s.pc = int(d.Target)
 		} else {
 			s.pc++
 		}
@@ -750,17 +950,18 @@ func (w *WPU) execBranch(s *Split, in isa.Inst) {
 	}
 
 	var taken Mask
-	s.mask.Lanes(func(lane int) {
-		if isa.BranchTaken(in, &warp.regs[lane]) {
+	for m := uint64(s.mask); m != 0; m &= m - 1 {
+		lane := bits.TrailingZeros64(m)
+		if (pred[lane] != 0) == nz {
 			taken |= LaneMask(lane)
 		}
-	})
+	}
 	notTaken := s.mask &^ taken
 
 	w.Stats.Branches++
 	if taken.Empty() || notTaken.Empty() {
 		if notTaken.Empty() {
-			s.pc = in.Target
+			s.pc = int(d.Target)
 		} else {
 			s.pc++
 		}
@@ -775,12 +976,11 @@ func (w *WPU) execBranch(s *Split, in isa.Inst) {
 	if w.trace != nil {
 		w.emit(obs.EvBranchDiverge, s.warp.id, s.pc, taken, notTaken)
 	}
-	bi, _ := w.prog.Branch(s.pc)
 	// Re-convergence comes from the verified table (recomputed by the
-	// verifier's independent post-dominator pass), not the builder-side
-	// BranchInfo it was cross-checked against.
-	reconvPC, ok := w.prog.ReconvPC(s.pc)
-	if !ok {
+	// verifier's independent post-dominator pass), folded into the decoded
+	// stream at Build time; -1 encodes program.NoIPdom.
+	reconvPC := int(d.Reconv)
+	if reconvPC < 0 {
 		reconvPC = program.NoIPdom
 	}
 
@@ -791,7 +991,7 @@ func (w *WPU) execBranch(s *Split, in isa.Inst) {
 		// branches keep subdividing (BranchLimited scopes never get here —
 		// they arrive at the branch instead).
 		subdivide = w.wstRoom()
-	case w.cfg.SubdivideOnBranch && bi.Subdividable:
+	case w.cfg.SubdivideOnBranch && d.Flags&isa.DFSubdiv != 0:
 		// Subdivide only when the WPU actually needs another SIMD group to
 		// hide latency; otherwise the conventional stack serialises the arms
 		// at the same issue cost with a guaranteed re-join. (The paper gates
@@ -803,7 +1003,7 @@ func (w *WPU) execBranch(s *Split, in isa.Inst) {
 	}
 
 	if subdivide {
-		w.subdivideBranch(s, taken, notTaken, in.Target)
+		w.subdivideBranch(s, taken, notTaken, int(d.Target))
 		return
 	}
 
@@ -812,9 +1012,9 @@ func (w *WPU) execBranch(s *Split, in isa.Inst) {
 	parent.PC = reconvPC
 	s.stack = append(s.stack,
 		StackEntry{ReconvPC: reconvPC, PC: s.pc + 1, Mask: notTaken},
-		StackEntry{ReconvPC: reconvPC, PC: in.Target, Mask: taken},
+		StackEntry{ReconvPC: reconvPC, PC: int(d.Target), Mask: taken},
 	)
-	s.pc = in.Target
+	s.pc = int(d.Target)
 	s.mask = taken
 	w.postPCUpdate(s)
 }
@@ -852,40 +1052,51 @@ func (w *WPU) subdivideBranch(s *Split, taken, notTaken Mask, target int) {
 	w.postPCUpdate(s)
 }
 
+// coalesce merges one lane's line address into the scratch group list.
+// The list is scanned linearly: a SIMD access touches at most Width lines
+// and usually far fewer, so a map would cost more than it saves.
+func coalesce(groups []lineGroup, la uint64, lane int) []lineGroup {
+	for i := range groups {
+		if groups[i].addr == la {
+			groups[i].lanes |= LaneMask(lane)
+			return groups
+		}
+	}
+	return append(groups, lineGroup{addr: la, lanes: LaneMask(lane)})
+}
+
 // execMem issues one SIMD memory instruction: functional execution at
 // issue, per-line coalescing into the banked L1, divergence detection, and
 // the configured subdivision or slip response.
-func (w *WPU) execMem(s *Split, in isa.Inst) {
+func (w *WPU) execMem(s *Split, d *isa.Decoded) {
 	warp := s.warp
-	write := in.Op == isa.ST
+	write := d.Flags&isa.DFStore != 0
 	s.memSince++
 
-	// Functional execution and per-line coalescing. The group list is
-	// reused scratch scanned linearly: a SIMD access touches at most Width
-	// lines and usually far fewer, so a map would cost more than it saves.
+	// Functional execution and per-line coalescing over SoA rows: the base
+	// register row gives every lane's address with one index, and loads
+	// store straight into the destination row (a store to r0 was redirected
+	// to the discard row at decode time). The group list is reused scratch
+	// scanned linearly: a SIMD access touches at most Width lines and
+	// usually far fewer, so a map would cost more than it saves.
+	base := warp.regs.Row(d.SrcA)
 	groups := w.memGroups[:0]
-	for v := uint64(s.mask); v != 0; v &= v - 1 {
-		lane := Mask(v).First()
-		r := &warp.regs[lane]
-		addr := isa.EffAddr(in, r)
-		if write {
-			w.fmem.Write(addr, r.Get(in.SrcB))
-		} else {
-			r.Set(in.Dst, w.fmem.Read(addr))
+	if write {
+		val := warp.regs.Row(d.SrcB)
+		for v := uint64(s.mask); v != 0; v &= v - 1 {
+			lane := bits.TrailingZeros64(v)
+			addr := uint64(base[lane] + d.Imm)
+			w.fmem.Write(addr, val[lane])
+			groups = coalesce(groups, w.l1.Line(addr), lane)
 		}
-		la := w.l1.Line(addr)
-		gi := -1
-		for i := range groups {
-			if groups[i].addr == la {
-				gi = i
-				break
-			}
+	} else {
+		dst := warp.regs.Row(d.Dst)
+		for v := uint64(s.mask); v != 0; v &= v - 1 {
+			lane := bits.TrailingZeros64(v)
+			addr := uint64(base[lane] + d.Imm)
+			dst[lane] = w.fmem.Read(addr)
+			groups = coalesce(groups, w.l1.Line(addr), lane)
 		}
-		if gi < 0 {
-			gi = len(groups)
-			groups = append(groups, lineGroup{addr: la})
-		}
-		groups[gi].lanes |= LaneMask(lane)
 	}
 	w.memGroups = groups
 
@@ -930,7 +1141,7 @@ func (w *WPU) execMem(s *Split, in isa.Inst) {
 	}
 
 	// Default: the whole group waits for its slowest thread.
-	s.state = WaitMem
+	w.setState(s, WaitMem)
 	s.pending = s.mask
 	w.assignOwner(s, s.mask)
 	w.tryWaitMerge(s)
@@ -962,6 +1173,7 @@ func (w *WPU) tryWaitMerge(s *Split) {
 		s.stack[0].Mask = s.mask
 		if o.prog > s.prog {
 			s.prog = o.prog
+			w.syncProg(s)
 		}
 		s.slipped = append(s.slipped, o.slipped...)
 		s.parked = append(s.parked, o.parked...)
@@ -1034,7 +1246,7 @@ func (w *WPU) subdivideMem(s *Split, hitMask, missMask Mask) {
 	}
 
 	hit := w.newSplit(s.warp, hitMask, pc, scope)
-	hit.state = WaitMem // completes after the hit latency
+	w.setState(hit, WaitMem) // completes after the hit latency
 	hit.pending = hitMask
 	hit.prog = s.prog
 	if w.cfg.MemScheme == PredictiveSplit {
@@ -1047,7 +1259,7 @@ func (w *WPU) subdivideMem(s *Split, hitMask, missMask Mask) {
 	s.mask = missMask
 	w.resetStack(s, frozen, pc, missMask)
 	s.scope = scope
-	s.state = WaitMem
+	w.setState(s, WaitMem)
 	s.pending = missMask
 
 	w.assignOwner(hit, hitMask)
@@ -1123,7 +1335,7 @@ func (s *Split) onLineDone(lanes Mask) {
 // becomeReady transitions a split out of WaitMem, applying re-convergence.
 func (w *WPU) becomeReady(s *Split) {
 	w.closeSubdivRecord(s)
-	s.state = Ready
+	w.setState(s, Ready)
 	w.postPCUpdate(s)
 	if s.state == Ready && w.cfg.PCReconv {
 		w.tryPCMerge(s)
@@ -1157,6 +1369,7 @@ func (w *WPU) tryPCMerge(s *Split) {
 		target.stack[0].Mask = target.mask
 		if victim.prog > target.prog {
 			target.prog = victim.prog
+			w.syncProg(target)
 		}
 		for _, e := range victim.slipped {
 			e.split = target
