@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: ci lint fmt-check vet dwslint dwsverify build test race bench bench-check bench-baseline profile profile-diff report trace
+.PHONY: ci lint fmt-check vet dwslint dwsverify build test race bench bench-check bench-baseline profile profile-diff report metrics trace
 
 ci: fmt-check vet lint build race test bench-check
 
@@ -72,6 +72,11 @@ profile-diff:
 # Regenerate the paper's exhibits with the parallel executor.
 report:
 	$(GO) run ./cmd/dwsreport
+
+# Headless cycle accounting: the stall-breakdown exhibit (top-down
+# taxonomy per scheme) plus its CSV under metrics/.
+metrics:
+	$(GO) run ./cmd/dwsreport -only stalls -csv metrics
 
 # One instrumented run: Chrome trace (load trace.json in
 # https://ui.perfetto.dev), interval timeline CSV, and run-metrics JSON.

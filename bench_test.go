@@ -261,6 +261,7 @@ func runFullReport(s *report.Session) error {
 		func() error { _, err := s.Figure19(w); return err },
 		func() error { _, err := s.Figure20(w); return err },
 		func() error { _, err := s.Figure21(w); return err },
+		func() error { _, err := s.StallBreakdown(w); return err },
 		func() error { _, err := s.Ablation(w); return err },
 	}
 	for _, f := range steps {

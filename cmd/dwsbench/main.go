@@ -1,9 +1,11 @@
 // dwsbench is the CI benchmark gate. It runs the event-engine
 // micro-benchmarks (BenchmarkEngineSteadyState: timing wheel, closure
-// path, and the retired heap queue kept as a reference) plus the
-// end-to-end BenchmarkFullReportShort (Table 1 from a cold session),
-// parses ns/op and allocs/op, and compares them against the checked-in
-// BENCH_baseline.json.
+// path, and the retired heap queue kept as a reference), the execution
+// and memory fast paths, the end-to-end BenchmarkFullReportShort
+// (Table 1 from a cold session), and the observability pins
+// (BenchmarkHistRecord's zero-alloc record path, BenchmarkObsOverhead's
+// disabled-hook cost), parses ns/op and allocs/op, and compares them
+// against the checked-in BENCH_baseline.json.
 //
 // Gating rules, both with a relative tolerance (default 10%):
 //   - ns/op is wall time and noisy, so the minimum across -count runs is
@@ -110,6 +112,38 @@ var suites = []suite{
 	{pkg: "./internal/mem", bench: "^BenchmarkFuncMemReadWrite$|^BenchmarkMSHRLookup$", benchtime: "2000000x", count: 5},
 	// End-to-end: Table 1 cold (eight full simulations, every kernel).
 	{pkg: ".", bench: "^BenchmarkFullReportShort$", benchtime: "1x", count: 3},
+	// Observability: the histogram record path must stay allocation-free
+	// (a zero alloc baseline fails on any alloc), and the obs hooks must
+	// stay invisible when disabled — ObsOverhead/off is the production
+	// path (nil sink), ObsOverhead/on the opt-in tracing cost; both are
+	// held by the ratio gates in relGates below on top of the absolute
+	// gate. ObsOverhead amortises two KMeans runs per sample and takes
+	// the minimum of seven reps for a tighter wall-clock floor than the
+	// one-shot macro-benchmarks.
+	{pkg: "./internal/obs", bench: "^BenchmarkHistRecord$", benchtime: "2000000x", count: 5},
+	{pkg: ".", bench: "^BenchmarkObsOverhead$", benchtime: "2x", count: 7},
+}
+
+// relGate pins the ratio of two benchmarks measured in the same gate run
+// against the baseline's ratio. Absolute ns/op swings with host load and
+// frequency scaling, but both sides of a ratio swing together, so this
+// holds a much tighter bar than the absolute gate can.
+type relGate struct {
+	name string  // numerator benchmark
+	ref  string  // denominator benchmark
+	tol  float64 // allowed relative growth of the ratio
+}
+
+// The obs overhead gates. The acceptance bar — hooks compiled in but
+// disabled cost < 2% (EXPERIMENTS.md) — is asserted at re-baseline time
+// on an idle machine; in CI these ratios catch the regression classes
+// that matter while surviving shared-host noise bursts: an emission site
+// that loses its enabled-check in a hot path (see the dwslint obsguard
+// rule) costs tens of percent on ObsOverhead/off, and any allocation it
+// makes trips the deterministic allocs/op gate above outright.
+var relGates = []relGate{
+	{name: "ObsOverhead/off", ref: "FullReportShort", tol: 0.10},
+	{name: "ObsOverhead/on", ref: "ObsOverhead/off", tol: 0.10},
 }
 
 // benchLine matches one `go test -bench -benchmem` result line, e.g.:
@@ -203,6 +237,21 @@ func compare(base Baseline, got map[string]Result, tol float64) []string {
 	for name := range got {
 		if _, ok := base.Benchmarks[name]; !ok {
 			failures = append(failures, fmt.Sprintf("%s: measured but missing from baseline — run `make bench-baseline`", name))
+		}
+	}
+	for _, rg := range relGates {
+		bn, bok := base.Benchmarks[rg.name]
+		br, rok := base.Benchmarks[rg.ref]
+		gn, gnok := got[rg.name]
+		gr, grok := got[rg.ref]
+		if !bok || !rok || !gnok || !grok || br.NsPerOp == 0 || gr.NsPerOp == 0 {
+			continue // a missing benchmark is already reported above
+		}
+		baseRatio := bn.NsPerOp / br.NsPerOp
+		gotRatio := gn.NsPerOp / gr.NsPerOp
+		if gotRatio > baseRatio*(1+rg.tol) {
+			failures = append(failures, fmt.Sprintf("%s/%s ratio %.3f, baseline %.3f (+%.1f%% > %.0f%% tolerance)",
+				rg.name, rg.ref, gotRatio, baseRatio, 100*(gotRatio/baseRatio-1), rg.tol*100))
 		}
 	}
 	return failures

@@ -19,9 +19,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"runtime/pprof"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/obs"
@@ -54,6 +57,8 @@ func main() {
 		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file ('-' = stdout; single benchmark only)")
 		tlOut     = flag.String("timeline", "", "write the interval timeline CSV to this file ('-' = stdout; single benchmark only)")
 		statsOut  = flag.String("stats", "", "write machine-readable run metrics JSON to this file ('-' = stdout)")
+		httpObs   = flag.String("httpobs", "", "serve live run metrics over HTTP at this address (e.g. :8080) while the process runs: '/' returns a JSON snapshot, '/metrics' the Prometheus text format")
+		obsRate   = flag.Uint64("httpobsevery", 0, "live snapshot refresh period in cycles for -httpobs (0 = a coarse default)")
 		obsEvery  = flag.Uint64("obsevery", 1000, "timeline sample interval in cycles for -trace/-timeline")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf   = flag.String("memprofile", "", "write a pprof allocation profile at exit to this file")
@@ -134,6 +139,29 @@ func main() {
 	s := report.NewSession(opts...)
 	s.Verify = *verify
 
+	var live *sim.Live
+	var liveSys struct {
+		mu  sync.Mutex
+		sys *sim.System
+	}
+	if *httpObs != "" {
+		live = sim.NewLive(*obsRate)
+		s.OnSystem = func(sys *sim.System) {
+			live.Attach(sys)
+			liveSys.mu.Lock()
+			liveSys.sys = sys
+			liveSys.mu.Unlock()
+		}
+		ln, err := net.Listen("tcp", *httpObs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dwsim: -httpobs:", err)
+			os.Exit(1)
+		}
+		defer ln.Close()
+		go http.Serve(ln, live) //nolint:errcheck // serves until process exit
+		fmt.Fprintf(os.Stderr, "dwsim: live metrics at http://%s/ (JSON) and http://%s/metrics (Prometheus)\n", ln.Addr(), ln.Addr())
+	}
+
 	traced := *traceOut != "" || *tlOut != ""
 	if traced && len(names) != 1 {
 		fmt.Fprintln(os.Stderr, "dwsim: -trace/-timeline need a single benchmark, not -bench all")
@@ -143,6 +171,9 @@ func main() {
 	var docs []report.RunDoc
 	if traced {
 		tr := obs.New(*obsEvery)
+		if live != nil {
+			live.SetMeta(names[0], string(k.Scheme))
+		}
 		start := time.Now()
 		r, err := s.RunTraced(names[0], k, tr)
 		if err != nil {
@@ -163,7 +194,9 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		docs = append(docs, report.NewRunDoc(r, k, "traced-live", wall))
+		doc := report.NewRunDoc(r, k, "traced-live", wall)
+		doc.Hists = &tr.Hists
+		docs = append(docs, doc)
 	} else {
 		// Prefetch only pays off with several points; for a single bench run
 		// it directly so the measured wall time is the simulation itself.
@@ -178,6 +211,9 @@ func main() {
 			}
 		}
 		for _, name := range names {
+			if live != nil {
+				live.SetMeta(name, string(k.Scheme))
+			}
 			start := time.Now()
 			r, err := s.Run(name, k)
 			if err != nil {
@@ -187,6 +223,14 @@ func main() {
 			printRun(name, k, r)
 			docs = append(docs, report.NewRunDoc(r, k, s.Provenance(name, k), time.Since(start).Seconds()))
 		}
+	}
+
+	if live != nil {
+		liveSys.mu.Lock()
+		if liveSys.sys != nil {
+			live.Finish(liveSys.sys)
+		}
+		liveSys.mu.Unlock()
 	}
 
 	if *statsOut != "" {

@@ -1,6 +1,6 @@
 // The determinism linter: go/ast + go/types checks for the hazards that
 // would silently break the simulator's byte-identical -j 1 vs -j 8
-// guarantee (see internal/report). Five checks:
+// guarantee (see internal/report). Six checks:
 //
 //   - wallclock:  time.Now / time.Since in simulation code. Simulated time
 //     is the engine's cycle counter; wall-clock reads make results depend
@@ -20,6 +20,12 @@
 //   - goroutine:  a go statement outside the approved executor files. All
 //     simulator concurrency must flow through the report.Session worker
 //     pool, whose merge order is deterministic.
+//   - obsguard:   an observability emission (trace Emit/AddSample or a
+//     histogram Record whose receiver chain goes through a trace) in a
+//     hot-path package (internal/wpu, internal/mem) that is not inside an
+//     `if x.trace != nil { ... }` body. The zero-cost-when-disabled
+//     contract requires untraced runs to pay only the nil-test branch; an
+//     unguarded emission would also nil-panic the default configuration.
 //
 // A finding can be suppressed with a trailing or preceding comment
 // directive `//dwslint:ignore <reason>`; the reason is mandatory, and a
@@ -67,6 +73,18 @@ type Linter struct {
 	// ApprovedGoroutineFiles are path suffixes of files allowed to launch
 	// goroutines (the executor worker pool).
 	ApprovedGoroutineFiles []string
+	// ObsGuardDirs are path fragments of the hot-path packages where the
+	// obsguard check applies; nil selects the default set.
+	ObsGuardDirs []string
+}
+
+// obsGuardDirs returns the directories whose obs emissions must be guarded
+// by the enabled check; a nil slice selects the simulator's hot paths.
+func (l *Linter) obsGuardDirs() []string {
+	if l.ObsGuardDirs != nil {
+		return l.ObsGuardDirs
+	}
+	return []string{"internal/wpu", "internal/mem"}
 }
 
 // LintDirs lints every non-test Go file under the given roots and returns
@@ -188,13 +206,18 @@ func (f *fakeImporter) Import(path string) (*types.Package, error) {
 	return p, nil
 }
 
-// walker runs the four checks over one file.
+// walker runs the checks over one file.
 type walker struct {
 	l        *Linter
 	fset     *token.FileSet
 	info     *types.Info
 	file     *ast.File
 	findings []Finding
+
+	// obsGuards caches the body ranges of `if ...trace != nil` statements
+	// in this file (computed lazily by insideTraceGuard).
+	obsGuards     [][2]token.Pos
+	obsGuardsOnce bool
 }
 
 func (w *walker) add(pos token.Pos, check, format string, args ...any) {
@@ -213,6 +236,8 @@ func (w *walker) Visit(n ast.Node) ast.Visitor {
 		w.checkMapRange(n)
 	case *ast.GoStmt:
 		w.checkGoroutine(n)
+	case *ast.CallExpr:
+		w.checkObsGuard(n)
 	}
 	return w
 }
@@ -416,6 +441,117 @@ func (w *walker) checkGoroutine(g *ast.GoStmt) {
 	w.add(g.Pos(), "goroutine",
 		"goroutine launched outside the approved executor files (%s): simulator concurrency must flow through the report.Session worker pool",
 		strings.Join(w.l.ApprovedGoroutineFiles, ", "))
+}
+
+// checkObsGuard flags observability emissions in the hot-path packages
+// that are not inside an `if x.trace != nil { ... }` body. Detection is
+// syntactic on purpose: the emission methods are recognised by name
+// (Emit, AddSample, Record) with a receiver chain that passes through a
+// trace or histogram field, so the check works without export data for
+// the obs package.
+func (w *walker) checkObsGuard(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	switch sel.Sel.Name {
+	case "Emit", "AddSample", "Record":
+	default:
+		return
+	}
+	if !chainMentionsTrace(sel.X) {
+		return
+	}
+	file := filepath.ToSlash(w.fset.Position(call.Pos()).Filename)
+	applies := false
+	for _, d := range w.l.obsGuardDirs() {
+		if strings.Contains(file, d) {
+			applies = true
+			break
+		}
+	}
+	if !applies {
+		return
+	}
+	if w.insideTraceGuard(call.Pos()) {
+		return
+	}
+	w.add(call.Pos(), "obsguard",
+		"unguarded %s in a hot path: wrap the emission in its enabled check (if x.trace != nil { ... }) so untraced runs pay only the nil-test branch", sel.Sel.Name)
+}
+
+// chainMentionsTrace reports whether the selector chain rooted at e passes
+// through a trace-ish name (trace, Trace, Hists).
+func chainMentionsTrace(e ast.Expr) bool {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return isTraceName(v.Name)
+		case *ast.SelectorExpr:
+			if isTraceName(v.Sel.Name) {
+				return true
+			}
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.CallExpr:
+			e = v.Fun
+		default:
+			return false
+		}
+	}
+}
+
+func isTraceName(name string) bool {
+	return name == "trace" || name == "Trace" || name == "Hists"
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// insideTraceGuard reports whether pos falls inside the body of an if
+// statement whose condition tests a trace-ish chain against nil. The body
+// ranges are collected once per file.
+func (w *walker) insideTraceGuard(pos token.Pos) bool {
+	if !w.obsGuardsOnce {
+		w.obsGuardsOnce = true
+		ast.Inspect(w.file, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			guards := false
+			ast.Inspect(ifs.Cond, func(c ast.Node) bool {
+				b, ok := c.(*ast.BinaryExpr)
+				if !ok || b.Op != token.NEQ {
+					return true
+				}
+				if (isNilIdent(b.Y) && chainMentionsTrace(b.X)) ||
+					(isNilIdent(b.X) && chainMentionsTrace(b.Y)) {
+					guards = true
+				}
+				return true
+			})
+			if guards {
+				w.obsGuards = append(w.obsGuards, [2]token.Pos{ifs.Body.Pos(), ifs.Body.End()})
+			}
+			return true
+		})
+	}
+	for _, g := range w.obsGuards {
+		if pos >= g[0] && pos <= g[1] {
+			return true
+		}
+	}
+	return false
 }
 
 // applyIgnores drops findings suppressed by a `//dwslint:ignore reason`

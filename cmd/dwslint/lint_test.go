@@ -92,6 +92,61 @@ func TestBadFixture(t *testing.T) {
 	}
 }
 
+// TestObsGuardFixture asserts the obsguard check catches every seeded
+// unguarded emission in the hot-path fixture — and nothing else: the
+// guarded, suppressed and trace-free variants must stay silent.
+func TestObsGuardFixture(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "obsguard")
+	want := expectedFindings(t, filepath.Join(dir, "internal", "wpu", "hot.go"))
+	if len(want) == 0 {
+		t.Fatal("fixture has no // want markers")
+	}
+
+	findings, err := newTestLinter().LintDirs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := map[int][]string{}
+	for _, f := range findings {
+		got[f.Pos.Line] = append(got[f.Pos.Line], f.Check)
+	}
+	for line, check := range want {
+		found := false
+		for _, c := range got[line] {
+			if c == check {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("line %d: want a %q finding, got %v", line, check, got[line])
+		}
+	}
+	for line, checks := range got {
+		for _, c := range checks {
+			if want[line] != c {
+				t.Errorf("line %d: unexpected %q finding", line, c)
+			}
+		}
+	}
+}
+
+// TestObsGuardScope asserts the check only applies inside ObsGuardDirs:
+// the same file linted under a non-hot-path configuration is clean.
+func TestObsGuardScope(t *testing.T) {
+	l := newTestLinter()
+	l.ObsGuardDirs = []string{"no/such/dir"}
+	findings, err := l.LintDirs(filepath.Join("testdata", "src", "obsguard"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if f.Check == "obsguard" {
+			t.Errorf("obsguard fired outside its configured dirs: %s", f)
+		}
+	}
+}
+
 // TestCleanFixture asserts the approved patterns produce no findings.
 func TestCleanFixture(t *testing.T) {
 	findings, err := newTestLinter().LintDirs(filepath.Join("testdata", "src", "clean"))

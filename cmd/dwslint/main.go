@@ -23,6 +23,8 @@ func main() {
 	approved := flag.String("approved-goroutine-files",
 		"internal/report/runner.go",
 		"comma-separated path suffixes of files allowed to launch goroutines")
+	obsDirs := flag.String("obsguard-dirs", "",
+		"comma-separated path fragments where obs emissions must be guarded (default: the built-in hot-path set)")
 	flag.Parse()
 
 	dirs := flag.Args()
@@ -34,6 +36,11 @@ func main() {
 	for _, s := range strings.Split(*approved, ",") {
 		if s = strings.TrimSpace(s); s != "" {
 			l.ApprovedGoroutineFiles = append(l.ApprovedGoroutineFiles, s)
+		}
+	}
+	for _, s := range strings.Split(*obsDirs, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			l.ObsGuardDirs = append(l.ObsGuardDirs, s)
 		}
 	}
 

@@ -1,0 +1,56 @@
+// Fixture for the obsguard check. The directory sits under an
+// internal/wpu path segment so the default ObsGuardDirs match it; the
+// types below mirror the shape of the real obs sink closely enough for
+// the syntactic receiver-chain detection.
+package wpu
+
+type hist struct{ n uint64 }
+
+func (h *hist) Record(v uint64) { h.n += v }
+
+type histSet struct {
+	SplitLife hist
+}
+
+type sink struct {
+	Hists histSet
+}
+
+func (t *sink) Emit(e int)      {}
+func (t *sink) AddSample(s int) {}
+
+type unit struct {
+	trace *sink
+}
+
+func (u *unit) unguarded() {
+	u.trace.Emit(1)                   // want obsguard
+	u.trace.AddSample(2)              // want obsguard
+	u.trace.Hists.SplitLife.Record(3) // want obsguard
+}
+
+func (u *unit) guarded() {
+	if u.trace != nil {
+		u.trace.Emit(1)
+		u.trace.Hists.SplitLife.Record(3)
+	}
+	if u.trace != nil && u.trace.Hists.SplitLife.n == 0 {
+		u.trace.AddSample(2)
+	}
+}
+
+func (u *unit) suppressed() {
+	//dwslint:ignore fixture: callers of this helper perform the nil check
+	u.trace.Emit(4)
+}
+
+// unrelated Record calls (no trace in the receiver chain) are out of
+// scope for the check.
+type recorder struct{}
+
+func (recorder) Record(uint64) {}
+
+func (u *unit) unrelated() {
+	var r recorder
+	r.Record(5)
+}

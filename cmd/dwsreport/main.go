@@ -9,7 +9,7 @@
 //	dwsreport -quick          # trimmed Figure 18 grid
 //	dwsreport -only 13        # a single exhibit (t1, 1a, 1b, 1c, 7, 11, 13,
 //	                          # 14, 15, 16, 17, 18, 19, 20, 21, headline,
-//	                          # ablation)
+//	                          # stalls, ablation)
 //	dwsreport -csv out/       # additionally write one CSV per exhibit
 //	dwsreport -j 8            # simulate up to 8 points concurrently
 //	dwsreport -nocache        # ignore the on-disk result store
@@ -171,6 +171,13 @@ func main() {
 			}
 			return csvOut(func(d string) error { return report.SensitivityCSV(d, "figure21.csv", pts) })
 		}, "Figure 21"},
+		{"stalls", func() error {
+			rows, err := s.StallBreakdown(w)
+			if err != nil {
+				return err
+			}
+			return csvOut(func(d string) error { return report.StallBreakdownCSV(d, rows) })
+		}, "Stall breakdown (§5.5)"},
 		{"ablation", func() error {
 			rows, err := s.Ablation(w)
 			if err != nil {

@@ -5,13 +5,16 @@
 // subdivision working (or to debug a policy change). The structured
 // formats attach the internal/obs sink instead and write to stdout:
 // chrome (trace-event JSON for Perfetto / chrome://tracing), json (the raw
-// event list), and csv (the interval timeline).
+// event list), csv (the interval timeline), and hist (the log2 latency
+// histograms: service level, MSHR residency, split lifetime, wait-merge
+// wait).
 //
 // Usage:
 //
 //	dwstrace -bench KMeans -scheme DWS.ReviveSplit -every 5000
 //	dwstrace -bench Merge -scheme Slip.BranchBypass -from 10000 -until 12000 -every 100
 //	dwstrace -bench KMeans -format chrome -every 1000 > trace.json
+//	dwstrace -bench KMeans -format hist > hists.csv
 package main
 
 import (
@@ -39,9 +42,9 @@ func main() {
 	flag.Parse()
 
 	switch *format {
-	case "text", "chrome", "json", "csv":
+	case "text", "chrome", "json", "csv", "hist":
 	default:
-		fail(fmt.Errorf("unknown -format %q (want text, chrome, json, or csv)", *format))
+		fail(fmt.Errorf("unknown -format %q (want text, chrome, json, csv, or hist)", *format))
 	}
 
 	spec, err := workloads.ByName(*benchName)
@@ -97,6 +100,10 @@ func main() {
 		}
 	case "csv":
 		if err := report.TimelineCSV(os.Stdout, tr); err != nil {
+			fail(err)
+		}
+	case "hist":
+		if err := obs.WriteHistCSV(os.Stdout, tr); err != nil {
 			fail(err)
 		}
 	case "text":

@@ -54,6 +54,14 @@ type l1MSHR struct {
 	// synchronous directory reply) to the fill completion that arrives after
 	// the probe penalty and the return crossbar hop.
 	granted Coherence
+	// born/sentAt stamp the residency and per-trip service histograms:
+	// allocation time and the most recent dispatch across the crossbar (an
+	// upgrade re-dispatch restarts the trip). viaDRAM is set by the L2 when
+	// this miss's fill had to go to DRAM, steering the service histogram;
+	// it is only maintained when a trace is attached.
+	born    engine.Cycle
+	sentAt  engine.Cycle
+	viaDRAM bool
 	dones   []l1Done
 }
 
@@ -223,6 +231,9 @@ func (c *L1) scheduleHit(lineAddr uint64, h engine.Handler, arg uint64) {
 		start = c.bankFree[bank]
 	}
 	c.bankFree[bank] = start + 1 // banks accept one access per cycle
+	if c.trace != nil {
+		c.trace.Hists.L1Hit.Record(uint64(start + c.cfg.HitLat - c.q.Now()))
+	}
 	if h != nil {
 		c.q.ScheduleAt(start+c.cfg.HitLat, h, arg)
 	}
@@ -269,6 +280,7 @@ func (c *L1) allocMSHR(lineAddr uint64, write bool, h engine.Handler, arg uint64
 	m := c.getMSHR()
 	m.lineAddr = lineAddr
 	m.write = write
+	m.born = c.q.Now()
 	if h != nil {
 		m.dones = append(m.dones, l1Done{h: h, arg: arg, write: write})
 	}
@@ -282,6 +294,7 @@ func (c *L1) allocMSHR(lineAddr uint64, write bool, h engine.Handler, arg uint64
 // dispatch sends the miss across the crossbar; the request hop re-reads the
 // MSHR's write intent at arrival so an upgrade re-dispatch reuses the path.
 func (c *L1) dispatch(m *l1MSHR) {
+	m.sentAt = c.q.Now()
 	c.xbar.SendEvent(&c.reqHop, m.lineAddr)
 }
 
@@ -331,6 +344,16 @@ func (c *L1) install(m *l1MSHR, granted Coherence) {
 // crossbar window, and promoting that copy to Modified in place would break
 // the single-writer invariant.
 func (c *L1) complete(m *l1MSHR, granted Coherence) {
+	if c.trace != nil {
+		// One record per crossbar round trip: an upgrade re-dispatch below
+		// restarts sentAt and records its own trip when it completes.
+		h := &c.trace.Hists.L2Serve
+		if m.viaDRAM {
+			h = &c.trace.Hists.DRAMServe
+		}
+		h.Record(uint64(c.q.Now() - m.sentAt))
+		m.viaDRAM = false
+	}
 	if m.upgradeWanted {
 		w := c.store.lookup(m.lineAddr)
 		if w == nil || (w.state != Modified && w.state != Exclusive) {
@@ -359,6 +382,9 @@ func (c *L1) complete(m *l1MSHR, granted Coherence) {
 	}
 	for _, d := range m.dones {
 		c.q.ScheduleAfter(0, d.h, d.arg)
+	}
+	if c.trace != nil {
+		c.trace.Hists.L1MSHRRes.Record(uint64(c.q.Now() - m.born))
 	}
 	c.mshrs.del(m.lineAddr)
 	c.putMSHR(m)

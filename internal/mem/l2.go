@@ -51,6 +51,7 @@ type l2Req struct {
 
 type l2MSHR struct {
 	lineAddr uint64
+	born     engine.Cycle // allocation time, for the residency histogram
 	reqs     []l2Req
 }
 
@@ -215,6 +216,14 @@ func (l *L2) putMSHR(m *l2MSHR) {
 }
 
 func (l *L2) missPath(lineAddr uint64, r l2Req) {
+	if l.trace != nil {
+		// The requesting L1's fill will come through DRAM (whether this
+		// request fetches, merges, or queues); mark its MSHR so the L1
+		// attributes the round trip to the right service-level histogram.
+		if m1, ok := l.l1s[r.from].mshrs.get(lineAddr); ok {
+			m1.viaDRAM = true
+		}
+	}
 	if m, ok := l.mshrs.get(lineAddr); ok {
 		l.Stats.Merges++
 		m.reqs = append(m.reqs, r)
@@ -240,6 +249,7 @@ func (l *L2) missPath(lineAddr uint64, r l2Req) {
 	}
 	m := l.getMSHR()
 	m.lineAddr = lineAddr
+	m.born = l.q.Now()
 	m.reqs = append(m.reqs, r)
 	l.mshrs.put(lineAddr, m)
 	if n := uint64(l.mshrs.len()); n > l.Stats.MSHRPeak {
@@ -265,6 +275,9 @@ func (l *L2) fill(m *l2MSHR) {
 		w.owner = -1
 	}
 	l.mshrs.del(m.lineAddr)
+	if l.trace != nil {
+		l.trace.Hists.L2MSHRRes.Record(uint64(l.q.Now() - m.born))
+	}
 	for _, r := range m.reqs {
 		l.grant(w, r)
 	}

@@ -31,6 +31,10 @@ const (
 	chromeTIDL1Base = 100
 	chromeTIDL2     = 200
 	chromeTIDDRAM   = 201
+	// chromeTIDHist is the row carrying the latency-histogram counter
+	// tracks: one track per non-empty histogram, with ts = the bucket's
+	// lower bound in cycles and the counter value = the bucket count.
+	chromeTIDHist = 300
 )
 
 func (e Event) chromeTID() int {
@@ -117,6 +121,15 @@ func WriteChromeTrace(w io.Writer, t *Trace) error {
 			names[s.WPU] = fmt.Sprintf("WPU %d", s.WPU)
 		}
 	}
+	anyHist := false
+	t.Hists.Each(func(_ string, h *Hist) {
+		if !h.Empty() {
+			anyHist = true
+		}
+	})
+	if anyHist {
+		names[chromeTIDHist] = "latency histograms"
+	}
 	tids := make([]int, 0, len(names))
 	for tid := range names {
 		tids = append(tids, tid)
@@ -158,6 +171,31 @@ func WriteChromeTrace(w io.Writer, t *Trace) error {
 				return err
 			}
 		}
+	}
+	// Latency histograms as counter tracks: the time axis is reused as the
+	// bucket axis (ts = the bucket's lower bound in cycles), so Perfetto
+	// renders each distribution as a step plot on its own track.
+	var histErr error
+	t.Hists.Each(func(name string, h *Hist) {
+		if histErr != nil || h.Empty() {
+			return
+		}
+		for i, c := range h.Buckets {
+			if c == 0 {
+				continue
+			}
+			histErr = put(chromeEvent{
+				Name: "hist " + name, Ph: "C", TS: BucketLo(i),
+				PID: 0, TID: chromeTIDHist,
+				Args: map[string]any{"count": c},
+			})
+			if histErr != nil {
+				return
+			}
+		}
+	})
+	if histErr != nil {
+		return histErr
 	}
 	if _, err := bw.WriteString("\n],\"displayTimeUnit\":\"ms\"}\n"); err != nil {
 		return err

@@ -132,6 +132,10 @@ type Trace struct {
 
 	Events  []Event
 	Samples []Sample
+
+	// Hists are the latency histograms (see hist.go). Embedded by value so
+	// a recording is a direct array increment with no pointer chasing.
+	Hists HistSet
 }
 
 // New returns an empty sink sampling the timeline every interval cycles.

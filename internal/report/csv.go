@@ -9,6 +9,7 @@ import (
 	"strconv"
 
 	"repro/internal/obs"
+	"repro/internal/wpu"
 )
 
 // CSV export: every exhibit's structured data can be written as a CSV file
@@ -173,6 +174,22 @@ func Figure14CSV(dir string, grids map[string][][]uint64) error {
 		header = append(header, fmt.Sprintf("lane%d", l))
 	}
 	return writeCSV(dir, "figure14.csv", header, rows)
+}
+
+// StallBreakdownCSV writes the stall-breakdown exhibit: one row per
+// (benchmark, scheme) point plus the per-scheme means, bucket columns in
+// wpu.CycleBucketLabels order.
+func StallBreakdownCSV(dir string, rows []StallRow) error {
+	header := append([]string{"benchmark", "scheme", "cycles"}, wpu.CycleBucketLabels[:]...)
+	var out [][]string
+	for _, r := range rows {
+		cells := []string{r.Bench, string(r.Scheme), strconv.FormatUint(r.Cycles, 10)}
+		for _, f := range r.Frac {
+			cells = append(cells, fs(f))
+		}
+		out = append(out, cells)
+	}
+	return writeCSV(dir, "stalls.csv", header, out)
 }
 
 // AblationCSV writes the ablation study.

@@ -137,6 +137,13 @@ type Session struct {
 	// the host reference (on by default; the cost is negligible). Set it
 	// before the first Run; it is not synchronised.
 	Verify bool
+
+	// OnSystem, when set, observes every freshly built machine immediately
+	// before its run starts — the dwsim -httpobs live-metrics hook. Like
+	// Verify it must be set before the first Run; it is called from the
+	// executor's worker goroutines, so implementations must be safe for
+	// concurrent use.
+	OnSystem func(*sim.System)
 }
 
 // inflight is one cache slot: done closes once r/err are final, so
@@ -224,7 +231,7 @@ func (s *Session) RunTraced(bench string, k Knobs, tr *obs.Trace) (Result, error
 	s.stats.Misses++
 	s.stats.Traced++
 	s.mu.Unlock()
-	r, err := runLive(bench, k, tr, s.Verify)
+	r, err := runLive(bench, k, tr, s.Verify, s.OnSystem)
 	if err != nil {
 		return Result{}, err
 	}
@@ -272,7 +279,7 @@ func (s *Session) simulate(bench string, k Knobs, key string) (Result, string, e
 	s.stats.Misses++
 	s.mu.Unlock()
 
-	r, err := runLive(bench, k, nil, s.Verify)
+	r, err := runLive(bench, k, nil, s.Verify, s.OnSystem)
 	if err != nil {
 		return Result{}, "", err
 	}
@@ -286,7 +293,7 @@ func (s *Session) simulate(bench string, k Knobs, key string) (Result, string, e
 // attached to every component of the machine before the run (sim.Config
 // .Trace), so the returned Result is accompanied by a filled event trace
 // and timeline.
-func runLive(bench string, k Knobs, tr *obs.Trace, verify bool) (Result, error) {
+func runLive(bench string, k Knobs, tr *obs.Trace, verify bool, onSys func(*sim.System)) (Result, error) {
 	scale := k.Scale
 	if scale <= 0 {
 		scale = 1
@@ -304,6 +311,9 @@ func runLive(bench string, k Knobs, tr *obs.Trace, verify bool) (Result, error) 
 	inst, err := spec.Build(sys)
 	if err != nil {
 		return Result{}, err
+	}
+	if onSys != nil {
+		onSys(sys)
 	}
 	if err := inst.Run(sys); err != nil {
 		return Result{}, fmt.Errorf("%s %s: %w", bench, k.key(bench), err)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/energy"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/wpu"
 )
 
@@ -18,9 +19,16 @@ import (
 
 // Schema identifiers; bump on incompatible layout changes so consumers
 // can dispatch (mirrors storeSchema for the on-disk result cache).
+// v2: wpu.Stats carries the top-down stall taxonomy instead of the old
+// three-way cycle split, documents carry an explicit SchemaVersion, and
+// traced runs may attach the latency histograms.
 const (
-	RunDocSchema   = "dwsim-run-v1"
-	StatsDocSchema = "dwsim-stats-v1"
+	// SchemaVersion is the integer revision of the run-metrics layout,
+	// carried as its own field in every document so consumers can dispatch
+	// numerically without parsing the schema strings.
+	SchemaVersion  = 2
+	RunDocSchema   = "dwsim-run-v2"
+	StatsDocSchema = "dwsim-stats-v2"
 )
 
 // RunDerived holds the headline ratios the paper quotes (§5.5), precomputed
@@ -44,10 +52,11 @@ type RunEnergy struct {
 // run: the full knob vector, provenance, and every statistic the machine
 // collected.
 type RunDoc struct {
-	Schema string `json:"schema"`
-	Bench  string `json:"bench"`
-	Scheme string `json:"scheme"`
-	Knobs  Knobs  `json:"knobs"`
+	Schema        string `json:"schema"`
+	SchemaVersion int    `json:"schema_version"`
+	Bench         string `json:"bench"`
+	Scheme        string `json:"scheme"`
+	Knobs         Knobs  `json:"knobs"`
 	// Source records how the result was obtained: "simulated" (fresh run),
 	// "disk-store" (loaded from the cross-process cache), or "traced-live"
 	// (forced live because an observability sink was attached).
@@ -65,6 +74,9 @@ type RunDoc struct {
 	DRAMAccesses   uint64      `json:"dram_accesses"`
 	DRAMWritebacks uint64      `json:"dram_writebacks"`
 	Energy         RunEnergy   `json:"energy"`
+	// Hists carries the latency histograms when the run was traced with an
+	// observability sink; untraced runs omit the field entirely.
+	Hists *obs.HistSet `json:"hists,omitempty"`
 }
 
 // NewRunDoc assembles the document for one completed run.
@@ -74,13 +86,14 @@ func NewRunDoc(r Result, k Knobs, source string, wallSeconds float64) RunDoc {
 		l1Rate = float64(r.L1.Misses) / float64(r.L1.Accesses)
 	}
 	return RunDoc{
-		Schema:      RunDocSchema,
-		Bench:       r.Bench,
-		Scheme:      string(r.Scheme),
-		Knobs:       k,
-		Source:      source,
-		WallSeconds: wallSeconds,
-		Cycles:      r.Cycles,
+		Schema:        RunDocSchema,
+		SchemaVersion: SchemaVersion,
+		Bench:         r.Bench,
+		Scheme:        string(r.Scheme),
+		Knobs:         k,
+		Source:        source,
+		WallSeconds:   wallSeconds,
+		Cycles:        r.Cycles,
 		Derived: RunDerived{
 			MeanSIMDWidth: r.Stats.MeanSIMDWidth(),
 			MemStallFrac:  r.Stats.MemStallFraction(),
@@ -104,14 +117,16 @@ func NewRunDoc(r Result, k Knobs, source string, wallSeconds float64) RunDoc {
 // StatsDoc is the top-level document dwsim -stats writes: the run list in
 // command-line benchmark order plus the session's cache counters.
 type StatsDoc struct {
-	Schema string     `json:"schema"`
-	Runs   []RunDoc   `json:"runs"`
-	Cache  CacheStats `json:"session_cache"`
+	Schema        string     `json:"schema"`
+	SchemaVersion int        `json:"schema_version"`
+	Runs          []RunDoc   `json:"runs"`
+	Cache         CacheStats `json:"session_cache"`
 }
 
 // WriteStatsDoc renders the document as indented JSON.
 func WriteStatsDoc(w io.Writer, runs []RunDoc, cache CacheStats) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(StatsDoc{Schema: StatsDocSchema, Runs: runs, Cache: cache})
+	return enc.Encode(StatsDoc{Schema: StatsDocSchema, SchemaVersion: SchemaVersion,
+		Runs: runs, Cache: cache})
 }

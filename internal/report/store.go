@@ -14,7 +14,9 @@ import (
 // storeSchema versions the record layout; bump it whenever Result or the
 // key format changes incompatibly so stale records simply miss.
 // v2: Result gained L2 stats and interconnect/DRAM traffic counters.
-const storeSchema = "dwsim-store-v2"
+// v3: wpu.Stats replaced the three-way cycle split with the top-down
+// stall taxonomy (TickCycles + eight exclusive buckets).
+const storeSchema = "dwsim-store-v3"
 
 // Store is a persistent, cross-process result cache: one JSON record per
 // simulated point, named by a digest of the cache key plus a version salt

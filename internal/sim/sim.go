@@ -270,8 +270,8 @@ func (s *System) sampleTimeline(cycle uint64) {
 			Cycle:       cycle,
 			WPU:         i,
 			Busy:        st.BusyCycles - prev.BusyCycles,
-			StallMem:    st.StallMemCycles - prev.StallMemCycles,
-			StallOther:  st.StallOtherCyc - prev.StallOtherCyc,
+			StallMem:    st.MemStallCycles() - prev.MemStallCycles(),
+			StallOther:  st.StallOtherCycles() - prev.StallOtherCycles(),
 			Issued:      st.Issued - prev.Issued,
 			WidthAccum:  st.WidthAccum - prev.WidthAccum,
 			WSTOcc:      w.LiveSplits(),

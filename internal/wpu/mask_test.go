@@ -126,27 +126,36 @@ func TestAllSchemesListed(t *testing.T) {
 }
 
 func TestStatsAdd(t *testing.T) {
-	a := Stats{BusyCycles: 10, StallMemCycles: 5, Issued: 7, PeakSplits: 3}
-	b := Stats{BusyCycles: 1, StallOtherCyc: 2, Issued: 3, PeakSplits: 5}
+	a := Stats{TickCycles: 18, BusyCycles: 10, StallMemCoherent: 3,
+		StallMemDivergent: 2, StallBarrier: 3, Issued: 7, PeakSplits: 3}
+	b := Stats{TickCycles: 3, BusyCycles: 1, StallICache: 1, StallWSTFull: 1,
+		StallSlotWait: 1, IdleNoLiveWarp: 1, Issued: 3, PeakSplits: 5}
 	a.Add(&b)
-	if a.BusyCycles != 11 || a.StallMemCycles != 5 || a.StallOtherCyc != 2 {
+	if a.BusyCycles != 11 || a.MemStallCycles() != 5 || a.StallOtherCycles() != 7 {
 		t.Fatalf("cycle sums wrong: %+v", a)
 	}
 	if a.Issued != 10 || a.PeakSplits != 5 {
 		t.Fatalf("Issued/PeakSplits wrong: %+v", a)
 	}
-	if a.Cycles() != 18 {
-		t.Fatalf("Cycles = %d, want 18", a.Cycles())
+	if a.Cycles() != 21 {
+		t.Fatalf("Cycles = %d, want 21", a.Cycles())
+	}
+	if a.StallSum() != 23 {
+		t.Fatalf("StallSum = %d, want 23", a.StallSum())
 	}
 }
 
 func TestStatsDerived(t *testing.T) {
-	s := Stats{Issued: 4, WidthAccum: 40, BusyCycles: 25, StallMemCycles: 75}
+	s := Stats{Issued: 4, WidthAccum: 40, TickCycles: 100, BusyCycles: 25,
+		StallMemCoherent: 50, StallMemDivergent: 25}
 	if s.MeanSIMDWidth() != 10 {
 		t.Fatalf("MeanSIMDWidth = %g", s.MeanSIMDWidth())
 	}
 	if s.MemStallFraction() != 0.75 {
 		t.Fatalf("MemStallFraction = %g", s.MemStallFraction())
+	}
+	if s.StallSum() != s.Cycles() {
+		t.Fatalf("StallSum %d != Cycles %d", s.StallSum(), s.Cycles())
 	}
 	var zero Stats
 	if zero.MeanSIMDWidth() != 0 || zero.MemStallFraction() != 0 {

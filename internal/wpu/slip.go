@@ -43,6 +43,7 @@ func (w *WPU) trySlip(s *Split, hitMask, missMask Mask) bool {
 
 	s.mask = hitMask
 	s.stack[0].Mask = hitMask
+	s.waitDiv = true
 	w.setState(s, WaitMem) // the hits still pay the hit latency
 	s.pending = hitMask
 	w.assignOwner(s, hitMask)
@@ -127,6 +128,7 @@ func (w *WPU) slipSwapIn(s *Split) bool {
 func (w *WPU) promoteSlipEntry(s *Split, e *slipEntry) {
 	ns := w.newSplit(s.warp, e.mask, e.pc, e.scope)
 	if !e.pending.Empty() {
+		ns.waitDiv = true       // fall-behind threads of a divergent access
 		w.setState(ns, WaitMem) // via setState: the memWait count must see it
 		ns.pending = e.pending
 		e.asSplit = ns // in-flight completions now target the split

@@ -200,8 +200,7 @@ func TestAdaptSlipAdjustsCap(t *testing.T) {
 	launchSimple(t, w, haltOnly(t), 8, nil)
 	start := w.maxSlip
 	// Memory-bound interval: raise.
-	w.Stats.BusyCycles = 10
-	w.Stats.StallMemCycles = 90
+	w.Stats.TickCycles = 100
 	w.intervalBusy = 10
 	w.intervalWait = 90
 	w.adaptSlip()
@@ -209,7 +208,7 @@ func TestAdaptSlipAdjustsCap(t *testing.T) {
 		t.Fatalf("cap = %d after memory-bound interval, want %d", w.maxSlip, start+1)
 	}
 	// Busy interval: lower.
-	w.Stats.BusyCycles = 200
+	w.Stats.TickCycles = 290
 	w.intervalBusy = 150
 	w.intervalWait = 5
 	w.adaptSlip()

@@ -3,6 +3,7 @@ package wpu
 import (
 	"fmt"
 
+	"repro/internal/engine"
 	"repro/internal/isa"
 )
 
@@ -115,6 +116,16 @@ type Split struct {
 
 	// pending marks threads with outstanding memory accesses (WaitMem).
 	pending Mask
+	// waitDiv marks a wait (WaitMem/WaitSlip) caused by a divergent access —
+	// some lanes hit while others missed. Set by the wait-entry sites before
+	// setState; setState/removeSplit keep the WPU's memWaitDiv count in sync
+	// and clear the flag when the wait ends.
+	waitDiv bool
+	// born is the cycle this scheduling entity was created (split-lifetime
+	// histogram); waitSince is the cycle of the most recent entry into a
+	// wait state (wait-merge wait-time histogram).
+	born      engine.Cycle
+	waitSince engine.Cycle
 	// memSince counts memory instructions issued since this split was
 	// created by subdivision; wait-merging (re-convergence of two splits
 	// suspended at the same PC) is only legal once both have moved past
@@ -133,8 +144,11 @@ type Split struct {
 	// resident: holds one of the scheduler's bounded slots (§6.6);
 	// slotIdx is the held slot's index (meaningful only while resident),
 	// kept so state transitions can update the scheduler's ready bitmask
-	// without searching the slot array.
+	// without searching the slot array. queued mirrors membership in the
+	// WPU's slotWait queue so transitions can maintain slotWaitReady
+	// without rescanning the queue every stalled cycle.
 	resident bool
+	queued   bool
 	slotIdx  int
 
 	// Adaptive slip state (slip modes only).

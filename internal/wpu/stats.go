@@ -4,10 +4,26 @@ package wpu
 // experiment harness derives the paper's tables and figures from these
 // counters plus the cache statistics.
 type Stats struct {
-	// Cycle accounting. Every simulated cycle is exactly one of these.
-	BusyCycles     uint64 // issued an instruction
-	StallMemCycles uint64 // no ready SIMD group; some group waits on memory
-	StallOtherCyc  uint64 // no ready SIMD group for any other reason
+	// Top-down cycle accounting. TickCycles counts every cycle the WPU was
+	// live (ticked before completion), and each such cycle lands in exactly
+	// one of the buckets below, so
+	//
+	//	BusyCycles + StallMemCoherent + StallMemDivergent + StallBarrier
+	//	  + StallICache + StallWSTFull + StallSlotWait + IdleNoLiveWarp
+	//	  == TickCycles
+	//
+	// holds as a hard invariant (enforced by TestStallTaxonomySums). The
+	// stall ladder is priority-ordered in WPU.stallCycle; see DESIGN.md
+	// ("Top-down cycle accounting") for the category → paper-mechanism map.
+	TickCycles        uint64 // cycles the WPU was live (the taxonomy total)
+	BusyCycles        uint64 // issued an instruction
+	StallMemCoherent  uint64 // all stalled groups wait on fully-missed accesses
+	StallMemDivergent uint64 // some stalled group waits on a divergent access (part hit, part missed)
+	StallBarrier      uint64 // nothing runnable; threads parked at a barrier
+	StallICache       uint64 // front end stalled on an instruction-cache refill
+	StallWSTFull      uint64 // a subdivision/revival was refused this cycle: WST full
+	StallSlotWait     uint64 // a runnable split exists but waits for a scheduler slot
+	IdleNoLiveWarp    uint64 // no live work at all (residual; ~0 in practice)
 
 	// Instruction accounting.
 	Issued       uint64 // SIMD instructions issued
@@ -52,7 +68,55 @@ type Stats struct {
 
 // Cycles returns the total simulated cycles this WPU was live.
 func (s *Stats) Cycles() uint64 {
-	return s.BusyCycles + s.StallMemCycles + s.StallOtherCyc
+	return s.TickCycles
+}
+
+// CycleBucketLabels names the eight taxonomy buckets in canonical
+// presentation order. Every consumer of the breakdown — the Prometheus
+// exposition, the stall exhibit, CSV headers — renders the buckets in
+// this order so the outputs line up column for column.
+var CycleBucketLabels = [8]string{
+	"busy",
+	"mem_coherent",
+	"mem_divergent",
+	"barrier",
+	"icache",
+	"wst_full",
+	"slot_wait",
+	"idle",
+}
+
+// CycleBuckets returns the taxonomy counters in CycleBucketLabels
+// order; their sum equals Cycles() by the accounting invariant.
+func (s *Stats) CycleBuckets() [8]uint64 {
+	return [8]uint64{
+		s.BusyCycles,
+		s.StallMemCoherent,
+		s.StallMemDivergent,
+		s.StallBarrier,
+		s.StallICache,
+		s.StallWSTFull,
+		s.StallSlotWait,
+		s.IdleNoLiveWarp,
+	}
+}
+
+// MemStallCycles returns the cycles stalled on memory: the sum of the
+// coherent and divergent sub-buckets (the legacy StallMemCycles rollup).
+func (s *Stats) MemStallCycles() uint64 {
+	return s.StallMemCoherent + s.StallMemDivergent
+}
+
+// StallOtherCycles returns the non-memory stall cycles (the legacy
+// StallOtherCyc rollup over the finer-grained buckets).
+func (s *Stats) StallOtherCycles() uint64 {
+	return s.StallBarrier + s.StallICache + s.StallWSTFull + s.StallSlotWait + s.IdleNoLiveWarp
+}
+
+// StallSum adds up every taxonomy bucket; equal to Cycles() by the
+// accounting invariant.
+func (s *Stats) StallSum() uint64 {
+	return s.BusyCycles + s.MemStallCycles() + s.StallOtherCycles()
 }
 
 // MeanSIMDWidth returns the average active width per issued instruction
@@ -65,20 +129,27 @@ func (s *Stats) MeanSIMDWidth() float64 {
 }
 
 // MemStallFraction returns the fraction of cycles stalled on memory (the
-// paper reports 76 % → 36 %, §5.5).
+// paper reports 76 % → 36 %, §5.5) — by definition the sum of the two
+// memory sub-buckets over the total.
 func (s *Stats) MemStallFraction() float64 {
 	c := s.Cycles()
 	if c == 0 {
 		return 0
 	}
-	return float64(s.StallMemCycles) / float64(c)
+	return float64(s.MemStallCycles()) / float64(c)
 }
 
 // Add accumulates o into s (for summing across WPUs).
 func (s *Stats) Add(o *Stats) {
+	s.TickCycles += o.TickCycles
 	s.BusyCycles += o.BusyCycles
-	s.StallMemCycles += o.StallMemCycles
-	s.StallOtherCyc += o.StallOtherCyc
+	s.StallMemCoherent += o.StallMemCoherent
+	s.StallMemDivergent += o.StallMemDivergent
+	s.StallBarrier += o.StallBarrier
+	s.StallICache += o.StallICache
+	s.StallWSTFull += o.StallWSTFull
+	s.StallSlotWait += o.StallSlotWait
+	s.IdleNoLiveWarp += o.IdleNoLiveWarp
 	s.Issued += o.Issued
 	s.ThreadOps += o.ThreadOps
 	s.FloatOps += o.FloatOps

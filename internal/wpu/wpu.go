@@ -38,8 +38,12 @@ type WPU struct {
 	// surplus splits queue in slotWait until a slot frees.
 	slots    []*Split
 	slotWait []*Split
-	rrNext   int
-	cur      *Split
+	// slotWaitReady counts Ready splits in slotWait, maintained on every
+	// queue edge and state transition so stall attribution never scans the
+	// queue (it can hold dozens of splits in small-slot-count sweeps).
+	slotWaitReady int
+	rrNext        int
+	cur           *Split
 	// readyMask mirrors "slots[i] holds a Ready split" per bit, so the
 	// per-cycle scheduler scan only visits ready slots. Maintained by
 	// acquireSlot/releaseSlot/admitWaiter and setState; usable only while
@@ -64,8 +68,16 @@ type WPU struct {
 	atBarrier int
 	// memWait counts splits in WaitMem/WaitSlip so stallCycle classifies
 	// most stalls without scanning. Maintained by setState/removeSplit.
-	memWait  int
-	unhalted int
+	memWait int
+	// memWaitDiv counts, of the memWait splits, those whose wait was caused
+	// by a divergent access (some lanes hit, some missed — Split.waitDiv);
+	// stallCycle attributes such stall cycles to StallMemDivergent.
+	memWaitDiv int
+	// wstFullAt holds q.Now()+1 at the most recent WST-full refusal (zero =
+	// never refused), so stallCycle can attribute a same-cycle stall to the
+	// full warp-split table. The +1 bias keeps cycle 0 distinguishable.
+	wstFullAt engine.Cycle
+	unhalted  int
 
 	launched bool
 	// progress counts state transitions that advance the machine without
@@ -230,6 +242,7 @@ func (w *WPU) Progress() uint64 { return w.Stats.Issued + w.progress }
 // emit records one structured trace event. Callers nil-check w.trace
 // before calling so the disabled path never constructs the Event.
 func (w *WPU) emit(kind obs.EventKind, warp, pc int, mask, mask2 Mask) {
+	//dwslint:ignore every emit caller nil-checks w.trace first (zero-cost pattern)
 	w.trace.Emit(obs.Event{
 		Cycle: uint64(w.q.Now()), Kind: kind, Unit: w.ID,
 		Warp: warp, PC: pc, Mask: uint64(mask), Mask2: uint64(mask2),
@@ -291,6 +304,7 @@ func (w *WPU) Launch(prog *program.Program, regs []isa.RegFile) error {
 	w.cur = nil
 	w.rrNext = 0
 	w.slotWait = nil
+	w.slotWaitReady = 0
 	for i := range w.slots {
 		w.slots[i] = nil
 	}
@@ -298,6 +312,8 @@ func (w *WPU) Launch(prog *program.Program, regs []isa.RegFile) error {
 	w.splitCount = 0
 	w.atBarrier = 0
 	w.memWait = 0
+	w.memWaitDiv = 0
+	w.wstFullAt = 0
 	w.unhalted = 0
 	for wi, warp := range w.warps {
 		warp.live = 0
@@ -342,6 +358,7 @@ func (w *WPU) newSplit(warp *Warp, mask Mask, pc int, scope *SyncScope) *Split {
 		state: Ready,
 		stack: w.newStack(pc, mask),
 		scope: scope,
+		born:  w.q.Now(),
 	}
 }
 
@@ -403,6 +420,10 @@ func (w *WPU) acquireSlot(s *Split) {
 	}
 	w.Stats.SlotWaits++
 	w.slotWait = append(w.slotWait, s)
+	s.queued = true
+	if s.state == Ready {
+		w.slotWaitReady++
+	}
 }
 
 // releaseSlot takes s out of the scheduler (it hit a synchronization
@@ -441,6 +462,15 @@ func (w *WPU) removeSplit(s *Split) {
 	}
 	if s.state == WaitMem || s.state == WaitSlip {
 		w.memWait--
+		if s.waitDiv {
+			w.memWaitDiv--
+		}
+	}
+	if w.trace != nil {
+		w.trace.Hists.SplitLife.Record(uint64(w.q.Now() - s.born))
+	}
+	if s.queued && s.state == Ready {
+		w.slotWaitReady--
 	}
 	s.state = Dead
 	// Recycle the stack: dead splits may live on as wait-merge forwarding
@@ -456,6 +486,10 @@ func (w *WPU) admitWaiter(slot int) {
 	for len(w.slotWait) > 0 {
 		c := w.slotWait[0]
 		w.slotWait = w.slotWait[1:]
+		c.queued = false
+		if c.state == Ready {
+			w.slotWaitReady--
+		}
 		if c.state == Dead || c.resident {
 			continue
 		}
@@ -488,8 +522,24 @@ func (w *WPU) setState(s *Split, st SplitState) {
 	if wasWait != isWait {
 		if isWait {
 			w.memWait++
+			if s.waitDiv {
+				w.memWaitDiv++
+			}
+			s.waitSince = w.q.Now()
 		} else {
 			w.memWait--
+			if s.waitDiv {
+				w.memWaitDiv--
+				s.waitDiv = false
+			}
+		}
+	}
+	if s.queued {
+		if s.state == Ready {
+			w.slotWaitReady--
+		}
+		if st == Ready {
+			w.slotWaitReady++
 		}
 	}
 	s.state = st
@@ -508,6 +558,7 @@ func (w *WPU) wstRoom() bool {
 		return true
 	}
 	w.Stats.WSTFullRefusals++
+	w.wstFullAt = w.q.Now() + 1
 	if w.trace != nil {
 		w.emit(obs.EvWSTRefusal, -1, -1, 0, 0)
 	}
@@ -520,6 +571,7 @@ func (w *WPU) Tick() {
 	if w.Done() {
 		return
 	}
+	w.Stats.TickCycles++
 	w.adaptSlip()
 
 	// Fine-grained round-robin: pick a ready SIMD group each cycle (switching
@@ -553,27 +605,66 @@ func (w *WPU) Tick() {
 	}
 }
 
+// stallCycle attributes one non-issuing cycle to exactly one taxonomy
+// bucket. The ladder is priority-ordered: front-end and scheduler-structure
+// stalls (icache refill, WST full, slot wait) mask the underlying memory
+// wait because removing them would let the cycle do useful work regardless
+// of the outstanding misses; among memory waits, one divergent waiter makes
+// the cycle divergent (the subdivision mechanisms target exactly those).
 func (w *WPU) stallCycle() {
 	// memWait counts WaitMem/WaitSlip splits, so the common classification
 	// is O(1); fall-behind slip groups (possible only in slip modes) still
-	// need the scan when no split is waiting.
-	if w.memWait > 0 {
-		w.Stats.StallMemCycles++
-		w.intervalWait++
-		return
+	// need the scan when no split is waiting. memBound reproduces the legacy
+	// memory-stall predicate exactly — intervalWait feeds adaptSlip, whose
+	// inputs must not shift.
+	memBound := w.memWait > 0
+	if !memBound && w.cfg.Slip != SlipOff {
+		memBound = w.anySlipped()
 	}
-	if w.cfg.Slip != SlipOff {
-		for _, warp := range w.warps {
-			for _, s := range warp.splits {
-				if len(s.slipped) > 0 {
-					w.Stats.StallMemCycles++
-					w.intervalWait++
-					return
-				}
+	if memBound {
+		w.intervalWait++
+	}
+	now := w.q.Now()
+	switch {
+	case now < w.fetchStallUntil:
+		w.Stats.StallICache++
+	case w.wstFullAt == now+1:
+		w.Stats.StallWSTFull++
+	case w.readyWaiterQueued():
+		w.Stats.StallSlotWait++
+	case w.memWaitDiv > 0:
+		w.Stats.StallMemDivergent++
+	case w.memWait > 0:
+		w.Stats.StallMemCoherent++
+	case memBound:
+		// Only slip fall-behind groups are outstanding: threads left behind
+		// by a divergent access.
+		w.Stats.StallMemDivergent++
+	case w.atBarrier > 0:
+		w.Stats.StallBarrier++
+	default:
+		w.Stats.IdleNoLiveWarp++
+	}
+}
+
+// anySlipped reports whether any split carries fall-behind slip groups.
+func (w *WPU) anySlipped() bool {
+	for _, warp := range w.warps {
+		for _, s := range warp.splits {
+			if len(s.slipped) > 0 {
+				return true
 			}
 		}
 	}
-	w.Stats.StallOtherCyc++
+	return false
+}
+
+// readyWaiterQueued reports whether a runnable split is queued for a
+// scheduler slot — the stall would clear with more slots, not faster
+// memory. The slotWaitReady counter makes this O(1); scanning slotWait
+// here cost ~40% of full-report wall time in the small-slot sweeps.
+func (w *WPU) readyWaiterQueued() bool {
+	return w.slotWaitReady > 0
 }
 
 // pickNext selects the ready resident SIMD group whose threads have
@@ -722,6 +813,7 @@ func (w *WPU) issueOne(s *Split) bool {
 			if w.slipSwapIn(s) {
 				d = &w.code[s.pc]
 			} else if len(s.slipped) > 0 {
+				s.waitDiv = true // slipped groups exist only after divergence
 				w.setState(s, WaitSlip)
 				return false
 			}
@@ -833,6 +925,7 @@ func (w *WPU) finishHalt(s *Split) {
 	}
 	if len(s.slipped) > 0 {
 		if !w.slipSwapIn(s) && len(s.slipped) > 0 {
+			s.waitDiv = true
 			w.setState(s, WaitSlip)
 		}
 		if s.state == WaitSlip || !s.mask.Empty() {
@@ -859,6 +952,7 @@ func (w *WPU) enterBarrier(s *Split) {
 			return
 		}
 		if len(s.slipped) > 0 {
+			s.waitDiv = true
 			w.setState(s, WaitSlip)
 			return
 		}
@@ -1141,6 +1235,7 @@ func (w *WPU) execMem(s *Split, d *isa.Decoded) {
 	}
 
 	// Default: the whole group waits for its slowest thread.
+	s.waitDiv = divergent
 	w.setState(s, WaitMem)
 	s.pending = s.mask
 	w.assignOwner(s, s.mask)
@@ -1171,6 +1266,17 @@ func (w *WPU) tryWaitMerge(s *Split) {
 		s.mask |= o.mask
 		s.pending |= o.pending
 		s.stack[0].Mask = s.mask
+		if o.state == WaitMem {
+			if o.waitDiv && !s.waitDiv {
+				// The survivor now waits on a divergent access too; o's own
+				// count is released by removeSplit below.
+				s.waitDiv = true
+				w.memWaitDiv++
+			}
+			if w.trace != nil {
+				w.trace.Hists.WaitMergeWait.Record(uint64(w.q.Now() - o.waitSince))
+			}
+		}
 		if o.prog > s.prog {
 			s.prog = o.prog
 			w.syncProg(s)
@@ -1246,6 +1352,7 @@ func (w *WPU) subdivideMem(s *Split, hitMask, missMask Mask) {
 	}
 
 	hit := w.newSplit(s.warp, hitMask, pc, scope)
+	hit.waitDiv = true
 	w.setState(hit, WaitMem) // completes after the hit latency
 	hit.pending = hitMask
 	hit.prog = s.prog
@@ -1259,6 +1366,7 @@ func (w *WPU) subdivideMem(s *Split, hitMask, missMask Mask) {
 	s.mask = missMask
 	w.resetStack(s, frozen, pc, missMask)
 	s.scope = scope
+	s.waitDiv = true
 	w.setState(s, WaitMem)
 	s.pending = missMask
 
@@ -1431,6 +1539,7 @@ func (w *WPU) maybeCompleteScope(sc *SyncScope) {
 		state: Ready,
 		stack: sc.frozen,
 		scope: sc.parent,
+		born:  w.q.Now(),
 	}
 	if sc.expected.Empty() {
 		merged.pc = sc.reconvPC
