@@ -16,7 +16,7 @@ dwslint:
 	$(GO) run ./cmd/dwslint ./internal
 
 dwsverify:
-	$(GO) run ./cmd/dwsverify -divergence
+	$(GO) run ./cmd/dwsverify -divergence -memaccess
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

@@ -122,6 +122,11 @@ var suites = []suite{
 	// one-shot macro-benchmarks.
 	{pkg: "./internal/obs", bench: "^BenchmarkHistRecord$", benchtime: "2000000x", count: 5},
 	{pkg: ".", bench: "^BenchmarkObsOverhead$", benchtime: "2x", count: 7},
+	// Program-build budget: every static analysis (divergence dataflow,
+	// memory-access classification, verification) runs inside Build, so
+	// kernel construction cost is where analysis additions would creep.
+	// The default tolerance holds it to <=10% over baseline.
+	{pkg: "./internal/program", bench: "^BenchmarkProgramBuild$", benchtime: "2000x", count: 5},
 }
 
 // relGate pins the ratio of two benchmarks measured in the same gate run

@@ -49,6 +49,7 @@ func main() {
 		l2kb      = flag.Int("l2kb", 4096, "L2 size in KB")
 		dist      = flag.String("dist", "block", "thread-to-WPU mapping: block or interleave")
 		scale     = flag.Int("scale", 1, "input-size multiplier (power of two; see workloads.AllWithScale)")
+		noHints   = flag.Bool("nomemhints", false, "ignore the static memory-divergence hints (control arm; behaviour-identical by construction)")
 		verify    = flag.Bool("verify", true, "verify results against the host reference")
 		showDis   = flag.Bool("disasm", false, "print each kernel's disassembly instead of running")
 		jobs      = flag.Int("j", 0, "max concurrent simulations with -bench all (0 = GOMAXPROCS)")
@@ -98,6 +99,7 @@ func main() {
 		WPUs: *wpus, Width: *width, Warps: *warps, Slots: *slots, WST: *wst,
 		L1KB: *l1kb, L1Assoc: *l1assoc, L2KB: *l2kb, L2Lat: *l2lat,
 		Scheme: wpu.Scheme(*scheme), Scale: *scale,
+		NoMemHints: *noHints,
 	}
 	switch *dist {
 	case "block":

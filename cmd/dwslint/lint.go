@@ -2,9 +2,10 @@
 // would silently break the simulator's byte-identical -j 1 vs -j 8
 // guarantee (see internal/report). Six checks:
 //
-//   - wallclock:  time.Now / time.Since in simulation code. Simulated time
-//     is the engine's cycle counter; wall-clock reads make results depend
-//     on host load.
+//   - wallclock:  time.Now / time.Since / time.Sleep / time.After in
+//     simulation code. Simulated time is the engine's cycle counter;
+//     wall-clock reads make results depend on host load, and wall-clock
+//     waits stall the real machine instead of scheduling an engine event.
 //   - rand:       use of math/rand's global source (rand.Intn, rand.Seed,
 //     ...). Only an explicitly seeded *rand.Rand — the
 //     rand.New(rand.NewSource(seed)) pattern — is reproducible.
@@ -280,6 +281,9 @@ func (w *walker) checkPkgSelector(sel *ast.SelectorExpr) {
 		case "Now", "Since":
 			w.add(sel.Pos(), "wallclock",
 				"time.%s in simulation code: simulated time is the engine's cycle counter, wall-clock reads are nondeterministic", sel.Sel.Name)
+		case "Sleep", "After":
+			w.add(sel.Pos(), "wallclock",
+				"time.%s in simulation code: simulated delays are engine events (Queue.At), wall-clock waits stall the real machine and are nondeterministic", sel.Sel.Name)
 		}
 	case "math/rand", "math/rand/v2":
 		switch sel.Sel.Name {

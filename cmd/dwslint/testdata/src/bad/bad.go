@@ -14,6 +14,11 @@ func wallclock() time.Duration {
 	return time.Since(start) // want wallclock
 }
 
+func wallclockWaits() {
+	time.Sleep(time.Millisecond) // want wallclock
+	<-time.After(time.Second)    // want wallclock
+}
+
 func globalRand() int {
 	rand.Seed(42)        // want rand
 	return rand.Intn(10) // want rand

@@ -45,6 +45,11 @@ func simTime(cycles int64) time.Duration {
 	return time.Duration(cycles) * time.Nanosecond
 }
 
+// throttled shows a justified wall-clock wait outside the simulated path.
+func throttled() {
+	time.Sleep(time.Millisecond) //dwslint:ignore fixture: backoff in a host-side tool, not simulation code
+}
+
 type handle struct{ id int }
 
 var handles = map[*handle]bool{}

@@ -10,6 +10,7 @@
 //	dwsverify -scale 4        # verify at a scaled input size
 //	dwsverify -disasm         # also print each kernel's disassembly
 //	dwsverify -divergence     # also print each kernel's divergence report
+//	dwsverify -memaccess      # also print each kernel's memory-access report
 //
 // Exit status 1 when any kernel fails to build or has verifier findings.
 package main
@@ -31,6 +32,7 @@ func main() {
 		scale     = flag.Int("scale", 1, "input-size multiplier (power of two; see workloads.AllWithScale)")
 		showDis   = flag.Bool("disasm", false, "print each kernel's disassembly with block and branch metadata")
 		showDiv   = flag.Bool("divergence", false, "print each kernel's divergence-analysis report (branch and access classes)")
+		showMem   = flag.Bool("memaccess", false, "print each kernel's memory-access report (access classes, transaction and bank-conflict bounds)")
 	)
 	flag.Parse()
 
@@ -75,6 +77,9 @@ func main() {
 			}
 			if *showDiv {
 				fmt.Print(p.DivergenceReport())
+			}
+			if *showMem {
+				fmt.Print(p.MemAccessReport())
 			}
 		}
 	}

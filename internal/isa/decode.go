@@ -46,7 +46,32 @@ const (
 	// DFSubdiv: static analysis allows dynamic warp subdivision at this
 	// branch (program layer; mirrors BranchInfo.Subdividable).
 	DFSubdiv
+	// DFMemHint: the static access analysis proved this memory
+	// instruction's address warp-uniform — every co-executing lane
+	// touches the same cache line, so intra-warp hit/miss divergence is
+	// impossible and the WPU may skip the memory-divergence subdivision
+	// probe outright (program layer; see program.AccessUniform).
+	DFMemHint
+	// DFMemClassLo/DFMemClassHi hold the 2-bit static access class of a
+	// memory instruction (program layer; numerically program.AccessClass:
+	// 0 uniform, 1 coalesced, 2 strided, 3 divergent-gather).
+	DFMemClassLo
+	DFMemClassHi
 )
+
+// memClassShift is the bit position of DFMemClassLo.
+const memClassShift = 6
+
+// MemClass returns the 2-bit static access class the program layer
+// encoded for a memory instruction (program.AccessClass numbering).
+func (d Decoded) MemClass() uint8 {
+	return uint8(d.Flags&(DFMemClassLo|DFMemClassHi)) >> memClassShift
+}
+
+// SetMemClass encodes the 2-bit static access class.
+func (d *Decoded) SetMemClass(c uint8) {
+	d.Flags = d.Flags&^(DFMemClassLo|DFMemClassHi) | DFlags(c&3)<<memClassShift
+}
 
 // Decoded is one dispatch-ready instruction. Operand registers are plain
 // row indices into the SoA register file; a discarded destination (the

@@ -161,6 +161,11 @@ func NewL1(id int, q *engine.Queue, cfg L1Config, xbar *Channel, l2 *L2, trace *
 // coalesce the per-thread addresses of a SIMD memory instruction.
 func (c *L1) Line(addr uint64) uint64 { return addr &^ c.lineMask }
 
+// Config returns the geometry this L1 was built with (defaults resolved).
+// The WPU reads it at Launch to derive static transaction bounds that
+// match the machine it actually runs on.
+func (c *L1) Config() L1Config { return c.cfg }
+
 // Access issues a load (write=false) or store (write=true) covering one
 // cache line, completing through a plain closure. It is the
 // convenience/test entry; the WPU's hot path is AccessEvent.

@@ -44,26 +44,30 @@ const (
 	// Front-end events.
 	EvBranchDiverge // conditional branch whose lanes disagreed (Mask/Mask2 = taken/not-taken)
 
+	// Static-analysis concordance events.
+	EvMemBoundExceeded // access exceeded its static worst-case transaction bound (Mask2 = observed line count)
+
 	numEventKinds
 )
 
 var eventKindNames = [numEventKinds]string{
-	EvBranchSubdiv:  "branch-subdiv",
-	EvMemSubdiv:     "mem-subdiv",
-	EvRevive:        "revive",
-	EvPCMerge:       "pc-merge",
-	EvWaitMerge:     "wait-merge",
-	EvScopeArrive:   "scope-arrive",
-	EvScopeMerge:    "scope-merge",
-	EvSlip:          "slip",
-	EvSlipMerge:     "slip-merge",
-	EvWSTRefusal:    "wst-refusal",
-	EvL1Miss:        "l1-miss",
-	EvL1MSHRFull:    "l1-mshr-full",
-	EvL2Miss:        "l2-miss",
-	EvDRAMFetch:     "dram-fetch",
-	EvDRAMWriteback: "dram-writeback",
-	EvBranchDiverge: "branch-diverge",
+	EvBranchSubdiv:     "branch-subdiv",
+	EvMemSubdiv:        "mem-subdiv",
+	EvRevive:           "revive",
+	EvPCMerge:          "pc-merge",
+	EvWaitMerge:        "wait-merge",
+	EvScopeArrive:      "scope-arrive",
+	EvScopeMerge:       "scope-merge",
+	EvSlip:             "slip",
+	EvSlipMerge:        "slip-merge",
+	EvWSTRefusal:       "wst-refusal",
+	EvL1Miss:           "l1-miss",
+	EvL1MSHRFull:       "l1-mshr-full",
+	EvL2Miss:           "l2-miss",
+	EvDRAMFetch:        "dram-fetch",
+	EvDRAMWriteback:    "dram-writeback",
+	EvBranchDiverge:    "branch-diverge",
+	EvMemBoundExceeded: "mem-bound-exceeded",
 }
 
 func (k EventKind) String() string {

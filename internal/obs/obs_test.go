@@ -42,6 +42,7 @@ func synthetic() *Trace {
 		{EvDRAMFetch, -1, -1, -1, 0, 0, 0x1a80},
 		{EvDRAMWriteback, -1, -1, -1, 0, 0, 0x0c00},
 		{EvBranchDiverge, 0, 1, 12, 0x00ff, 0xff00, 0},
+		{EvMemBoundExceeded, 0, 1, 14, 0x00ff, 3, 0},
 	}
 	for i, e := range kinds {
 		t.Emit(Event{Cycle: uint64(10 * (i + 1)), Kind: e.k, Unit: e.unit,

@@ -20,8 +20,9 @@
 // Soundness is defined against the launch ABI (sim.Threads / WPU.Launch):
 // r0 is hardwired zero, r1 is the global thread id, r2 is the warp-uniform
 // thread count, region base registers (DeclareRegion) hold warp-uniform
-// buffer bases. r3 (local index) and every declared input may differ per
-// thread, so they enter as divergent. "Uniform" is a claim about the lanes
+// buffer bases, and inputs declared via DeclareUniformInputs hold the same
+// scalar parameter in every thread. r3 (local index) and every other
+// declared input may differ per thread, so they enter as divergent. "Uniform" is a claim about the lanes
 // that co-execute in one warp split — under DWS that is a strictly harder
 // claim than under lockstep SIMT, because warp splits outlive re-convergence
 // points (BranchBypass, §5.3), arise from memory divergence as well as
@@ -330,6 +331,9 @@ func (p *Program) entryState() regState {
 	var s regState
 	for r := range s {
 		s[r] = divVal
+		if p.uniforms&(1<<r) != 0 {
+			s[r] = uniformVal // declared warp-uniform scalar parameter
+		}
 	}
 	s[0] = exactConst(0)
 	s[1] = absVal{kind: vExact, region: -1, ct: 1} // global tid

@@ -84,6 +84,7 @@ type Program struct {
 	// Static declarations carried over from the Builder; they gate the
 	// def-use and bounds checks.
 	inputs         uint32 // bitmask of declared entry-defined registers
+	uniforms       uint32 // subset the launcher promises warp-uniform
 	inputsDeclared bool
 	regions        []RegionDecl
 	maxThreads     int
@@ -92,6 +93,12 @@ type Program struct {
 	// accesses is the divergence analysis verdict per load/store, in pc
 	// order (see dataflow.go).
 	accesses []AccessInfo
+
+	// memAccess is the static access-pattern table per load/store under
+	// DefaultMemParams, in pc order (see memaccess.go). The verifier
+	// cross-checks it against a fresh analysis run; the WPU derives
+	// machine-specific transaction bounds from it via MemAccessFor.
+	memAccess []MemAccessInfo
 
 	// uniformBranch[pc] mirrors BranchInfo.Uniform as a dense slice: the
 	// WPU queries it on every executed branch, so the fast-path test must
@@ -153,6 +160,7 @@ func (p *Program) Disassemble() string {
 	for _, b := range p.Blocks {
 		blockAt[b.Start] = b.ID
 	}
+	ai := 0
 	for pc, in := range p.Code {
 		if id, ok := blockAt[pc]; ok {
 			fmt.Fprintf(&sb, "B%d:\n", id)
@@ -169,6 +177,13 @@ func (p *Program) Disassemble() string {
 				sb.WriteString(" subdividable")
 			}
 		}
+		for ai < len(p.memAccess) && p.memAccess[ai].PC < pc {
+			ai++
+		}
+		if ai < len(p.memAccess) && p.memAccess[ai].PC == pc {
+			a := p.memAccess[ai]
+			fmt.Fprintf(&sb, "\t; %s tx<=%d", a.AClass, a.Transactions)
+		}
 		sb.WriteByte('\n')
 	}
 	return sb.String()
@@ -183,6 +198,7 @@ type Builder struct {
 	fixups map[int]string // instruction index -> unresolved label
 
 	inputs         uint32
+	uniforms       uint32
 	inputsDeclared bool
 	regions        []RegionDecl
 	maxThreads     int
@@ -210,6 +226,24 @@ func (b *Builder) DeclareInputs(regs ...isa.Reg) {
 	for _, r := range regs {
 		if r < isa.NumRegs {
 			b.inputs |= 1 << r
+		}
+	}
+}
+
+// DeclareUniformInputs declares inputs the launcher additionally promises
+// to preload with the SAME value in every thread (scalar kernel parameters:
+// sizes, pitches, iteration constants). The divergence analysis treats them
+// as warp-uniform, which is what lets it classify parameter-indexed
+// addresses as uniform or affine instead of divergent-gather. The promise
+// is the launcher's to keep — it cannot be checked statically — but the
+// trace-backed concordance tests observe every benchmark kernel dynamically
+// and a broken promise surfaces as a divergence or transaction-bound
+// violation there. The ABI trio and region bases need no declaration.
+func (b *Builder) DeclareUniformInputs(regs ...isa.Reg) {
+	b.DeclareInputs(regs...)
+	for _, r := range regs {
+		if r < isa.NumRegs {
+			b.uniforms |= 1 << r
 		}
 	}
 }
@@ -489,6 +523,7 @@ func (b *Builder) Build() (*Program, error) {
 		seenRegion[r.Reg] = true
 	}
 	p.inputs = b.inputs
+	p.uniforms = b.uniforms
 	p.inputsDeclared = b.inputsDeclared
 	p.regions = append([]RegionDecl(nil), b.regions...)
 	p.maxThreads = b.maxThreads
@@ -519,6 +554,10 @@ func (b *Builder) Build() (*Program, error) {
 	for _, a := range div.accesses {
 		p.accesses = append(p.accesses, AccessInfo{PC: a.pc, Store: a.store, Class: a.val.class()})
 	}
+	// The memory-side analysis (memaccess.go): classify every load/store's
+	// warp access pattern and bound its worst-case line transactions. The
+	// verifier below recomputes and cross-checks this table.
+	p.memAccess = p.buildMemAccess(div, DefaultMemParams)
 
 	findings := p.Verify()
 	var errs []Finding
@@ -565,6 +604,18 @@ func (b *Builder) Build() (*Program, error) {
 			d.Flags |= isa.DFSubdiv
 		}
 		d.Reconv = int32(p.reconv[pc])
+	}
+	// Fold the access classes into the decoded memory instructions: the
+	// 2-bit class feeds the WPU's per-class concordance counters, and the
+	// single-transaction hint (uniform address ⇒ one line group for any
+	// width, so the access can never hit/miss-diverge) lets the WPU skip
+	// the subdivide-on-miss probe without changing behaviour.
+	for _, a := range p.memAccess {
+		d := &p.decoded[a.PC]
+		d.SetMemClass(uint8(a.AClass))
+		if a.AClass == AccessUniform {
+			d.Flags |= isa.DFMemHint
+		}
 	}
 	p.verified = true
 	return p, nil

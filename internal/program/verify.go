@@ -110,6 +110,7 @@ func (p *Program) Verify() []Finding {
 	fs = append(fs, p.checkDeadDefs(reach)...)
 	fs = append(fs, p.checkBarriers(reach)...)
 	fs = append(fs, p.checkBounds(div)...)
+	fs = append(fs, p.checkMemAccess(div)...)
 	sortFindings(fs)
 	return fs
 }
@@ -771,6 +772,66 @@ func (p *Program) checkBounds(div *divResult) []Finding {
 	for _, a := range div.accesses {
 		if f, bad := p.boundsAt(a.pc, a.block, a.val, a.imm); bad {
 			fs = append(fs, f)
+		}
+	}
+	return fs
+}
+
+// checkMemAccess recomputes the static access-pattern table (memaccess.go)
+// from the fresh divergence run and compares it against the table Build
+// recorded — the table the WPU's subdivide-on-miss hints and per-pc
+// transaction bounds are derived from, so a stale entry would prune probes
+// or flag concordance violations based on facts the code no longer has.
+// It also cross-checks the table against the exact-affine bounds domain:
+// where the address is region-relative with exact coefficients, the
+// recorded stride must equal the tid coefficient the bounds check uses,
+// and the recorded footprint must fit inside the bounds check's offset
+// span for any launch of at least a warp's worth of threads.
+func (p *Program) checkMemAccess(div *divResult) []Finding {
+	var fs []Finding
+	add := func(pc, blk int, format string, args ...any) {
+		fs = append(fs, Finding{
+			Check: "memaccess", Severity: Err, PC: pc, Block: blk,
+			Msg: fmt.Sprintf(format, args...),
+		})
+	}
+	want := p.buildMemAccess(div, DefaultMemParams)
+	if len(want) != len(p.memAccess) {
+		add(-1, -1, "recorded access table has %d entries, fresh analysis has %d", len(p.memAccess), len(want))
+		return fs
+	}
+	for i, w := range want {
+		g := p.memAccess[i]
+		if g != w {
+			add(w.PC, div.accesses[i].block,
+				"recorded access verdict %s %s disagrees with fresh analysis %s %s",
+				g.AClass, g.boundSummary(), w.AClass, w.boundSummary())
+			continue
+		}
+		a := div.accesses[i]
+		if a.val.kind != vExact {
+			continue
+		}
+		if cls := a.val.class(); cls != g.Class {
+			add(w.PC, a.block, "bounds domain sees class %s, recorded table says %s", cls, g.Class)
+			continue
+		}
+		if g.Class != ClassDivergent && a.val.stride() != g.StrideBytes {
+			add(w.PC, a.block, "bounds domain tid coefficient %d, recorded stride %d", a.val.stride(), g.StrideBytes)
+			continue
+		}
+		// Footprint vs the bounds-check offset span: with block-distributed
+		// consecutive lane tids, one warp's span is a sub-range of the
+		// whole launch's, so the footprint may never exceed it.
+		if g.FootprintBytes >= 0 && a.val.ct != 0 && p.maxThreads >= DefaultMemParams.Lanes {
+			span := a.val.ct * int64(p.maxThreads-1)
+			if span < 0 {
+				span = -span
+			}
+			if g.FootprintBytes > span+isa.WordSize {
+				add(w.PC, a.block, "footprint %d B exceeds the bounds-domain span %d B for %d threads",
+					g.FootprintBytes, span+isa.WordSize, p.maxThreads)
+			}
 		}
 	}
 	return fs

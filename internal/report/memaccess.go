@@ -1,0 +1,134 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/program"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+	"repro/internal/wpu"
+)
+
+// Memory-access-class exhibit (beyond paper): the static classifier's
+// verdict per kernel against what the machine actually did. The static
+// side counts memory instructions per access class over the suite's
+// distinct kernels; the dynamic side sums, per class, the SIMD accesses
+// issued from those sites and the line transactions they generated — so
+// tx/access against the class's worst-case bound is the analysis's
+// precision, measured on real runs. Conv gives the full-width (lockstep)
+// numbers the bounds were computed for; ReviveSplit shows the same sites
+// under warp splits and revival.
+
+// memClassSchemes is the scheme pair the exhibit contrasts.
+var memClassSchemes = []wpu.Scheme{wpu.SchemeConv, wpu.SchemeRevive}
+
+// MemClassRow is one (scheme, access class) point, summed over the suite.
+type MemClassRow struct {
+	Scheme       wpu.Scheme
+	Class        program.AccessClass
+	StaticSites  int    // static memory instructions of this class across the suite's kernels
+	Accesses     uint64 // dynamic SIMD accesses issued from those sites
+	Transactions uint64 // line transactions those accesses generated
+	HintSkips    uint64 // subdivide-probe skips under the uniform hint (per scheme, repeated on each class row)
+}
+
+// staticClassSites builds every suite kernel (no simulation) and counts
+// memory instructions per access class, once per distinct kernel.
+func staticClassSites() ([program.NumAccessClasses]int, error) {
+	var sites [program.NumAccessClasses]int
+	seen := make(map[string]bool)
+	for _, spec := range workloads.All() {
+		sys, err := sim.New(sim.DefaultConfig())
+		if err != nil {
+			return sites, err
+		}
+		inst, err := spec.Build(sys)
+		if err != nil {
+			return sites, fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		for _, st := range inst.Steps() {
+			if seen[st.Prog.Name] {
+				continue
+			}
+			seen[st.Prog.Name] = true
+			for _, a := range st.Prog.MemAccesses() {
+				sites[a.AClass]++
+			}
+		}
+	}
+	return sites, nil
+}
+
+// MemAccessClasses runs the suite under Conv and DWS.ReviveSplit and
+// prints the static-vs-dynamic class table; the returned rows feed
+// MemAccessCSV.
+func (s *Session) MemAccessClasses(w io.Writer) ([]MemClassRow, error) {
+	sites, err := staticClassSites()
+	if err != nil {
+		return nil, err
+	}
+	var knobs []Knobs
+	for _, sc := range memClassSchemes {
+		knobs = append(knobs, DefaultKnobs(sc))
+	}
+	if err := s.Prefetch(suiteJobs(knobs...)); err != nil {
+		return nil, err
+	}
+	var rows []MemClassRow
+	for _, sc := range memClassSchemes {
+		k := DefaultKnobs(sc)
+		var total wpu.Stats
+		for _, b := range BenchNames() {
+			r, err := s.Run(b, k)
+			if err != nil {
+				return nil, err
+			}
+			total.Add(&r.Stats)
+		}
+		for c := 0; c < program.NumAccessClasses; c++ {
+			rows = append(rows, MemClassRow{
+				Scheme:       sc,
+				Class:        program.AccessClass(c),
+				StaticSites:  sites[c],
+				Accesses:     total.MemClassAccesses[c],
+				Transactions: total.MemClassTransactions[c],
+				HintSkips:    total.MemDivHintSkips,
+			})
+		}
+	}
+
+	fmt.Fprintln(w, "Access classes (static analysis): classifier verdicts vs dynamic line transactions (suite totals)")
+	fmt.Fprintln(w, "(sites: static memory instructions per class; tx/access: mean line transactions per SIMD access)")
+	t := newTable(w, "scheme", "class", "sites", "accesses", "transactions", "tx/access", "hint-skips")
+	for _, r := range rows {
+		txPer := "-"
+		if r.Accesses > 0 {
+			txPer = fmt.Sprintf("%.2f", float64(r.Transactions)/float64(r.Accesses))
+		}
+		t.row(string(r.Scheme), r.Class.String(), strconv.Itoa(r.StaticSites),
+			strconv.FormatUint(r.Accesses, 10), strconv.FormatUint(r.Transactions, 10),
+			txPer, strconv.FormatUint(r.HintSkips, 10))
+	}
+	t.flush()
+	return rows, nil
+}
+
+// MemAccessCSV writes the access-class exhibit rows.
+func MemAccessCSV(dir string, rows []MemClassRow) error {
+	header := []string{"scheme", "class", "static_sites", "accesses", "transactions", "tx_per_access", "hint_skips"}
+	var out [][]string
+	for _, r := range rows {
+		txPer := 0.0
+		if r.Accesses > 0 {
+			txPer = float64(r.Transactions) / float64(r.Accesses)
+		}
+		out = append(out, []string{
+			string(r.Scheme), r.Class.String(), strconv.Itoa(r.StaticSites),
+			strconv.FormatUint(r.Accesses, 10), strconv.FormatUint(r.Transactions, 10),
+			fs(txPer), strconv.FormatUint(r.HintSkips, 10),
+		})
+	}
+	return writeCSV(dir, "memaccess.csv", header, out)
+}

@@ -71,7 +71,8 @@ type Knobs struct {
 	// Ablation switches (see the Ablation driver).
 	NoWaitMerge  bool
 	NoProgSched  bool
-	BranchThresh int // 0 = default lazy threshold
+	NoMemHints   bool // ignore static memory-divergence hints (control arm)
+	BranchThresh int  // 0 = default lazy threshold
 }
 
 // DefaultKnobs returns the Table 3 configuration under a given scheme.
@@ -102,6 +103,7 @@ func (k Knobs) Config() sim.Config {
 	cfg.WPU = k.Scheme.Apply(cfg.WPU)
 	cfg.WPU.DisableWaitMerge = k.NoWaitMerge
 	cfg.WPU.DisableProgSched = k.NoProgSched
+	cfg.WPU.DisableMemHints = k.NoMemHints
 	cfg.WPU.BranchLazyThreshold = k.BranchThresh
 	return cfg
 }

@@ -22,13 +22,15 @@ import (
 // v2: wpu.Stats carries the top-down stall taxonomy instead of the old
 // three-way cycle split, documents carry an explicit SchemaVersion, and
 // traced runs may attach the latency histograms.
+// v3: wpu.Stats gained the static access-class concordance counters
+// (MemClassAccesses/MemClassTransactions/MemDivHintSkips/MemBoundExceeded).
 const (
 	// SchemaVersion is the integer revision of the run-metrics layout,
 	// carried as its own field in every document so consumers can dispatch
 	// numerically without parsing the schema strings.
-	SchemaVersion  = 2
-	RunDocSchema   = "dwsim-run-v2"
-	StatsDocSchema = "dwsim-stats-v2"
+	SchemaVersion  = 3
+	RunDocSchema   = "dwsim-run-v3"
+	StatsDocSchema = "dwsim-stats-v3"
 )
 
 // RunDerived holds the headline ratios the paper quotes (§5.5), precomputed

@@ -16,7 +16,9 @@ import (
 // v2: Result gained L2 stats and interconnect/DRAM traffic counters.
 // v3: wpu.Stats replaced the three-way cycle split with the top-down
 // stall taxonomy (TickCycles + eight exclusive buckets).
-const storeSchema = "dwsim-store-v3"
+// v4: wpu.Stats gained the static access-class concordance counters
+// (MemClassAccesses/MemClassTransactions/MemDivHintSkips/MemBoundExceeded).
+const storeSchema = "dwsim-store-v4"
 
 // Store is a persistent, cross-process result cache: one JSON record per
 // simulated point, named by a digest of the cache key plus a version salt

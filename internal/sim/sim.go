@@ -104,6 +104,12 @@ func New(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("sim: need at least one WPU")
 	}
 	cfg.Hier.Trace = cfg.Trace
+	// Under interleaved distribution adjacent lanes of a warp hold thread
+	// IDs one WPU-count apart; the WPUs scale their static per-pc
+	// transaction bounds by this step so the concordance check stays sound.
+	if cfg.Dist == DistInterleave {
+		cfg.WPU.LaneTidStep = cfg.WPUs
+	}
 	s := &System{Cfg: cfg, Q: &engine.Queue{}}
 	s.Hier = mem.NewHierarchy(s.Q, cfg.WPUs, cfg.Hier)
 	for i := 0; i < cfg.WPUs; i++ {

@@ -25,7 +25,7 @@ func fftBitrevKernel(n, maxThreads int) *program.Program {
 	b.DeclareRegion(5, int64(n))
 	b.DeclareRegion(6, int64(n))
 	b.DeclareRegion(7, int64(n))
-	b.DeclareInputs(8, 9)
+	b.DeclareUniformInputs(8, 9)
 	b.DeclareThreads(maxThreads)
 	b.Mov(10, 1) // i = tid
 	b.Label("loop")
@@ -68,7 +68,7 @@ func fftStageKernel(n, maxThreads int) *program.Program {
 	b.DeclareRegion(5, int64(n))
 	b.DeclareRegion(6, int64(n/2))
 	b.DeclareRegion(7, int64(n/2))
-	b.DeclareInputs(9, 10, 11, 12)
+	b.DeclareUniformInputs(9, 10, 11, 12)
 	b.DeclareThreads(maxThreads)
 	b.Mov(13, 1) // b = tid
 	b.Label("loop")

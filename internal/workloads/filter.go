@@ -25,7 +25,7 @@ func filterKernel(width, height, maxThreads int) *program.Program {
 	w := int64(width)
 	b.DeclareRegion(4, w*int64(height))
 	b.DeclareRegion(5, w*int64(height))
-	b.DeclareInputs(7, 8)
+	b.DeclareUniformInputs(7, 8)
 	b.DeclareThreads(maxThreads)
 	b.Mov(9, 1) // p = tid
 	b.Label("loop")

@@ -31,7 +31,7 @@ func kmeansAssignKernel(p, k, d, maxThreads int) *program.Program {
 	b.DeclareRegion(4, int64(p*d))
 	b.DeclareRegion(5, int64(k*d))
 	b.DeclareRegion(6, int64(p))
-	b.DeclareInputs(7, 8, 9)
+	b.DeclareUniformInputs(7, 8, 9)
 	b.DeclareThreads(maxThreads)
 	b.Mov(10, 1) // p = tid
 	b.Label("ploop")
@@ -94,7 +94,7 @@ func kmeansUpdateKernel(p, k, ch, maxThreads int) *program.Program {
 	b.DeclareRegion(5, int64(p))
 	b.DeclareRegion(6, int64(k*ch*d))
 	b.DeclareRegion(7, int64(k*ch))
-	b.DeclareInputs(9, 10, 11, 12)
+	b.DeclareUniformInputs(9, 10, 11, 12)
 	b.DeclareThreads(maxThreads)
 	b.Mov(13, 1) // t = tid
 	b.Label("loop")
@@ -153,7 +153,7 @@ func kmeansReduceKernel(k, d, ch, maxThreads int) *program.Program {
 	b.DeclareRegion(5, int64(k*ch))
 	b.DeclareRegion(6, int64(k*d))
 	b.DeclareRegion(7, int64(k))
-	b.DeclareInputs(8, 9, 10)
+	b.DeclareUniformInputs(8, 9, 10)
 	b.DeclareThreads(maxThreads)
 	b.Mov(11, 1)
 	b.Label("loop")
@@ -205,7 +205,7 @@ func kmeansFinalizeKernel(k, d, maxThreads int) *program.Program {
 	b.DeclareRegion(4, int64(k*d))
 	b.DeclareRegion(5, int64(k*d))
 	b.DeclareRegion(6, int64(k))
-	b.DeclareInputs(7, 8)
+	b.DeclareUniformInputs(7, 8)
 	b.DeclareThreads(maxThreads)
 	b.Mov(9, 1)
 	b.Label("loop")

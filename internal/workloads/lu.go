@@ -21,7 +21,7 @@ const luN = 72
 func luScaleKernel(n, maxThreads int) *program.Program {
 	b := program.NewBuilder("lu-scale")
 	b.DeclareRegion(4, int64(n)*int64(n))
-	b.DeclareInputs(5, 6)
+	b.DeclareUniformInputs(5, 6)
 	b.DeclareThreads(maxThreads)
 	b.Addi(8, 6, 1)
 	b.Add(8, 8, 1) // i = k+1+tid
@@ -52,7 +52,7 @@ func luScaleKernel(n, maxThreads int) *program.Program {
 func luUpdateKernel(n, maxThreads int) *program.Program {
 	b := program.NewBuilder("lu-update")
 	b.DeclareRegion(4, int64(n)*int64(n))
-	b.DeclareInputs(5, 6, 7, 8)
+	b.DeclareUniformInputs(5, 6, 7, 8)
 	b.DeclareThreads(maxThreads)
 	b.Mov(9, 1) // m = tid
 	b.Label("loop")

@@ -23,7 +23,7 @@ const mergeN = 4096
 func mergeKernel(n, maxThreads int) *program.Program {
 	b := program.NewBuilder("merge-bitonic")
 	b.DeclareRegion(4, 3*int64(n)) // 24-byte records
-	b.DeclareInputs(6, 7, 8)
+	b.DeclareUniformInputs(6, 7, 8)
 	b.DeclareThreads(maxThreads)
 	b.Mov(9, 1) // idx = tid
 	b.Label("loop")

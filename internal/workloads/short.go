@@ -27,7 +27,7 @@ func shortKernel(choices, maxThreads int) *program.Program {
 	b := program.NewBuilder("short")
 	b.DeclareRegion(4, int64(choices))
 	b.DeclareRegion(5, int64(choices))
-	b.DeclareInputs(6, 7)
+	b.DeclareUniformInputs(6, 7)
 	b.DeclareThreads(maxThreads)
 	b.Mov(8, 1) // j = tid
 	b.Label("loop")

@@ -27,7 +27,7 @@ func svmKernel(n, d, band, maxThreads int) *program.Program {
 	b := program.NewBuilder("svm")
 	b.DeclareRegion(4, int64(n*d))
 	b.DeclareRegion(5, int64(n*band))
-	b.DeclareInputs(6, 7, 8, 9)
+	b.DeclareUniformInputs(6, 7, 8, 9)
 	b.DeclareThreads(maxThreads)
 	b.Mov(10, 1) // pair = tid
 	b.Label("loop")

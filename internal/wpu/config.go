@@ -151,6 +151,22 @@ type Config struct {
 	// DisableProgSched replaces least-progressed-first issue with plain
 	// round-robin over the scheduler slots.
 	DisableProgSched bool
+	// DisableMemHints ignores the static access-class hints
+	// (isa.DFMemHint): every memory access keeps the full
+	// subdivide-on-miss probe path even where the analysis proved the
+	// probe fruitless. Behaviour-neutral by construction — a hinted
+	// (warp-uniform) access occupies one line group and can never
+	// hit/miss-diverge, so the probe it skips would never fire — this
+	// knob exists to measure the pruned probe work (Stats.MemDivHintSkips).
+	DisableMemHints bool
+
+	// LaneTidStep is the global-thread-id distance between adjacent lanes
+	// of a warp: 1 under block thread distribution (the default; 0 means
+	// 1), the WPU count under interleaved distribution. The launcher
+	// (internal/sim) sets it; the static per-pc transaction bounds are
+	// scaled by it so the trace-backed concordance check stays sound for
+	// any distribution.
+	LaneTidStep int
 
 	// SlipInterval, SlipRaise and SlipLower are the adaptive-slip profiling
 	// parameters from §5.7: every SlipInterval cycles the maximum allowed

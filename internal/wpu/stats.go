@@ -45,6 +45,26 @@ type Stats struct {
 	MemDivergent uint64 // ... where some threads hit and some missed
 	LineAccesses uint64 // coalesced line requests issued to the D-cache
 
+	// Static access-class concordance: dynamic SIMD accesses and their
+	// coalesced line transactions bucketed by the decoded 2-bit static
+	// class (program.AccessClass order: uniform, coalesced, strided,
+	// gather). Transactions/Accesses per class is the observed
+	// transactions-per-access the precision table in EXPERIMENTS.md
+	// confronts with the static worst-case bound.
+	MemClassAccesses     [4]uint64
+	MemClassTransactions [4]uint64
+	// MemDivHintSkips counts memory instructions issued under the static
+	// single-transaction hint (isa.DFMemHint): their subdivide-on-miss
+	// probe was pruned as provably fruitless. Zero when
+	// Config.DisableMemHints is set.
+	MemDivHintSkips uint64
+	// MemBoundExceeded counts accesses whose observed line transactions
+	// exceeded the static worst-case bound — an analysis soundness
+	// violation. Counted only on traced runs (the bounds are derived at
+	// Launch when tracing is on); always zero unless the analysis is
+	// broken.
+	MemBoundExceeded uint64
+
 	// DWS mechanics.
 	BranchSubdivisions uint64
 	MemSubdivisions    uint64
@@ -163,6 +183,12 @@ func (s *Stats) Add(o *Stats) {
 	s.MemWithMiss += o.MemWithMiss
 	s.MemDivergent += o.MemDivergent
 	s.LineAccesses += o.LineAccesses
+	for i := range s.MemClassAccesses {
+		s.MemClassAccesses[i] += o.MemClassAccesses[i]
+		s.MemClassTransactions[i] += o.MemClassTransactions[i]
+	}
+	s.MemDivHintSkips += o.MemDivHintSkips
+	s.MemBoundExceeded += o.MemBoundExceeded
 	s.BranchSubdivisions += o.BranchSubdivisions
 	s.MemSubdivisions += o.MemSubdivisions
 	s.Revivals += o.Revivals

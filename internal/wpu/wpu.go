@@ -120,6 +120,13 @@ type WPU struct {
 	// Subdivision predictor (PredictiveSplit, the §8 extension).
 	predictor subdivPredictor
 
+	// memBound holds the static worst-case line-transaction bound per pc
+	// (-1 = no bound: non-memory or divergent-gather), recomputed at Launch
+	// for this WPU's width/line/bank geometry. Populated only on traced
+	// runs; execMem checks observed transactions against it and emits
+	// EvMemBoundExceeded on violation (an analysis soundness bug).
+	memBound []int32
+
 	// Adaptive slip state (§5.7).
 	maxSlip       int
 	intervalStart uint64 // cycle count at last adaptation
@@ -286,6 +293,27 @@ func (w *WPU) Launch(prog *program.Program, regs []isa.RegFile) error {
 	}
 	w.prog = prog
 	w.code = prog.Decoded()
+	// Recompute the static worst-case transaction bounds for THIS WPU's
+	// geometry (width, line size, bank count, lane tid step) — the bounds
+	// baked into the program table use program.DefaultMemParams, which need
+	// not match. Only traced runs pay for this: the bound check exists to
+	// back the concordance harness, and untraced hot paths skip it.
+	w.memBound = nil
+	if w.trace != nil {
+		l1cfg := w.l1.Config()
+		w.memBound = make([]int32, len(prog.Code))
+		for i := range w.memBound {
+			w.memBound[i] = -1
+		}
+		for _, a := range prog.MemAccessFor(program.MemParams{
+			Lanes:     w.cfg.Width,
+			LineBytes: int64(l1cfg.LineSize),
+			Banks:     l1cfg.Banks,
+			TidStep:   int64(w.cfg.LaneTidStep),
+		}) {
+			w.memBound[a.PC] = int32(a.Transactions)
+		}
+	}
 	base := -1
 	for _, pb := range w.progBases {
 		if pb.prog == prog {
@@ -1197,6 +1225,15 @@ func (w *WPU) execMem(s *Split, d *isa.Decoded) {
 	w.Stats.MemInsts++
 	w.Stats.MemAccesses++
 	w.Stats.LineAccesses += uint64(len(groups))
+	cls := d.MemClass()
+	w.Stats.MemClassAccesses[cls]++
+	w.Stats.MemClassTransactions[cls] += uint64(len(groups))
+	if w.memBound != nil {
+		if b := w.memBound[s.pc]; b >= 0 && int32(len(groups)) > b {
+			w.Stats.MemBoundExceeded++
+			w.emit(obs.EvMemBoundExceeded, warp.id, s.pc, s.mask, Mask(len(groups)))
+		}
+	}
 
 	var hitMask, missMask Mask
 	for i := range groups {
@@ -1221,13 +1258,27 @@ func (w *WPU) execMem(s *Split, d *isa.Decoded) {
 		w.Stats.MemDivergent++
 	}
 
+	// Static single-transaction hint (isa.DFMemHint): the divergence
+	// analysis proved this access warp-uniform, so it occupies exactly one
+	// line group and can never hit/miss-diverge — the subdivide/slip probe
+	// below is provably fruitless and is pruned. Behaviour-identical by
+	// construction; the panic is the runtime self-check of that proof.
+	hinted := d.Flags&isa.DFMemHint != 0 && !w.cfg.DisableMemHints
+	if hinted {
+		w.Stats.MemDivHintSkips++
+		if divergent {
+			panic(fmt.Sprintf("wpu %d: access @pc %d hinted single-transaction but diverged (hit %x miss %x)",
+				w.ID, s.pc, uint64(hitMask), uint64(missMask)))
+		}
+	}
+
 	s.pc++ // the instruction is architecturally complete; data is pending
 
-	if divergent && w.cfg.Slip != SlipOff {
+	if !hinted && divergent && w.cfg.Slip != SlipOff {
 		if w.trySlip(s, hitMask, missMask) {
 			return
 		}
-	} else if divergent && w.cfg.MemScheme != MemNone {
+	} else if !hinted && divergent && w.cfg.MemScheme != MemNone {
 		if w.shouldMemSubdivide(s) {
 			w.subdivideMem(s, hitMask, missMask)
 			return
