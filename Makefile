@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: ci lint fmt-check vet dwslint dwsverify build test race bench bench-check bench-baseline profile profile-diff report metrics trace
+.PHONY: ci lint fmt-check vet dwslint dwsverify build test race bench bench-check bench-baseline profile profile-diff report metrics trace update-goldens
 
 ci: fmt-check vet lint build race test bench-check
 
@@ -16,7 +16,14 @@ dwslint:
 	$(GO) run ./cmd/dwslint ./internal
 
 dwsverify:
-	$(GO) run ./cmd/dwsverify -divergence -memaccess
+	$(GO) run ./cmd/dwsverify -divergence -memaccess -costmodel
+
+# Regenerate every golden file in one pass (all golden-pinned tests take
+# the same -update flag): obs exports, report run-doc and exhibit
+# goldens, and the workloads analysis reports (divergence, memory access,
+# cost model).
+update-goldens:
+	$(GO) test ./internal/obs/... ./internal/report/... ./internal/workloads/... -update
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

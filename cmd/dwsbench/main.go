@@ -4,8 +4,10 @@
 // and memory fast paths, the end-to-end BenchmarkFullReportShort
 // (Table 1 from a cold session), and the observability pins
 // (BenchmarkHistRecord's zero-alloc record path, BenchmarkObsOverhead's
-// disabled-hook cost), parses ns/op and allocs/op, and compares them
-// against the checked-in BENCH_baseline.json.
+// disabled-hook cost), and the static-analysis budgets
+// (BenchmarkProgramBuild, BenchmarkCostModel), parses ns/op and
+// allocs/op, and compares them against the checked-in
+// BENCH_baseline.json.
 //
 // Gating rules, both with a relative tolerance (default 10%):
 //   - ns/op is wall time and noisy, so the minimum across -count runs is
@@ -127,6 +129,11 @@ var suites = []suite{
 	// kernel construction cost is where analysis additions would creep.
 	// The default tolerance holds it to <=10% over baseline.
 	{pkg: "./internal/program", bench: "^BenchmarkProgramBuild$", benchtime: "2000x", count: 5},
+	// Cost-model budget: CostModelFor on the suite's largest kernel
+	// (KMeans assign at 256 threads) — trip counts, block execs, issue
+	// and tick bounds, per-site scores, 13-scheme ranking. Gated so the
+	// interval analyses stay cheap enough to run inside every Build.
+	{pkg: "./internal/workloads", bench: "^BenchmarkCostModel$", benchtime: "2000x", count: 5},
 }
 
 // relGate pins the ratio of two benchmarks measured in the same gate run

@@ -1,6 +1,6 @@
 // The determinism linter: go/ast + go/types checks for the hazards that
 // would silently break the simulator's byte-identical -j 1 vs -j 8
-// guarantee (see internal/report). Six checks:
+// guarantee (see internal/report). Seven checks:
 //
 //   - wallclock:  time.Now / time.Since / time.Sleep / time.After in
 //     simulation code. Simulated time is the engine's cycle counter;
@@ -21,6 +21,14 @@
 //   - goroutine:  a go statement outside the approved executor files. All
 //     simulator concurrency must flow through the report.Session worker
 //     pool, whose merge order is deterministic.
+//   - exhaustiveswitch: a switch dispatching on one of the schema enums —
+//     obs.EventKind (case expressions name Ev* enumerators) or the cycle
+//     taxonomy (case expressions are CycleBucketLabels strings) — that
+//     neither covers every enumerator nor carries a default clause. The
+//     enumerator and label sets are extracted from the linted tree itself,
+//     so adding an EventKind or a taxonomy bucket immediately flags every
+//     switch that has not caught up (the schema-drift class the golden
+//     exports otherwise catch only at test time).
 //   - obsguard:   an observability emission (trace Emit/AddSample or a
 //     histogram Record whose receiver chain goes through a trace) in a
 //     hot-path package (internal/wpu, internal/mem) that is not inside an
@@ -51,6 +59,7 @@ import (
 	"io/fs"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -77,6 +86,31 @@ type Linter struct {
 	// ObsGuardDirs are path fragments of the hot-path packages where the
 	// obsguard check applies; nil selects the default set.
 	ObsGuardDirs []string
+	// ExhaustiveEnumTypes are type names of iota enums whose switches must
+	// be exhaustive or defaulted; nil selects the default set.
+	ExhaustiveEnumTypes []string
+	// ExhaustiveLabelArrays are names of canonical label arrays whose
+	// string-switches must be exhaustive or defaulted; nil selects the
+	// default set.
+	ExhaustiveLabelArrays []string
+}
+
+// exhaustiveEnumTypes returns the enum type names the exhaustiveswitch
+// check guards; a nil slice selects the schema enums.
+func (l *Linter) exhaustiveEnumTypes() []string {
+	if l.ExhaustiveEnumTypes != nil {
+		return l.ExhaustiveEnumTypes
+	}
+	return []string{"EventKind"}
+}
+
+// exhaustiveLabelArrays returns the label-array names the exhaustiveswitch
+// check guards; a nil slice selects the cycle taxonomy.
+func (l *Linter) exhaustiveLabelArrays() []string {
+	if l.ExhaustiveLabelArrays != nil {
+		return l.ExhaustiveLabelArrays
+	}
+	return []string{"CycleBucketLabels"}
 }
 
 // obsGuardDirs returns the directories whose obs emissions must be guarded
@@ -92,6 +126,7 @@ func (l *Linter) obsGuardDirs() []string {
 // the findings sorted by position.
 func (l *Linter) LintDirs(roots ...string) ([]Finding, error) {
 	pkgDirs := map[string]bool{}
+	var files []string
 	for _, root := range roots {
 		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 			if err != nil {
@@ -105,6 +140,7 @@ func (l *Linter) LintDirs(roots ...string) ([]Finding, error) {
 			}
 			if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
 				pkgDirs[filepath.Dir(path)] = true
+				files = append(files, path)
 			}
 			return nil
 		})
@@ -117,10 +153,15 @@ func (l *Linter) LintDirs(roots ...string) ([]Finding, error) {
 		dirs = append(dirs, dir)
 	}
 	sort.Strings(dirs)
+	sort.Strings(files)
+	enums, err := l.collectEnums(files)
+	if err != nil {
+		return nil, err
+	}
 
 	var all []Finding
 	for _, dir := range dirs {
-		fs, err := l.lintPackageDir(dir)
+		fs, err := l.lintPackageDir(dir, enums)
 		if err != nil {
 			return nil, err
 		}
@@ -139,7 +180,99 @@ func (l *Linter) LintDirs(roots ...string) ([]Finding, error) {
 	return all, nil
 }
 
-func (l *Linter) lintPackageDir(dir string) ([]Finding, error) {
+// enumSets is the schema membership the exhaustiveswitch check compares
+// switches against, extracted from the linted tree itself (so the check
+// tracks the source of truth, not a copy of it).
+type enumSets struct {
+	// members maps an enum type name to its exported enumerators in
+	// declaration order (the unexported count sentinel is excluded).
+	members map[string][]string
+	// labels maps a label-array name to its string elements in index order.
+	labels map[string][]string
+}
+
+// collectEnums pre-parses every file once and extracts the enumerator and
+// label sets of the configured schema enums. A guarded enum defined in
+// multiple packages (the fixture case) merges by name; the simulator tree
+// defines each exactly once.
+func (l *Linter) collectEnums(files []string) (*enumSets, error) {
+	typeTargets := map[string]bool{}
+	for _, t := range l.exhaustiveEnumTypes() {
+		typeTargets[t] = true
+	}
+	arrTargets := map[string]bool{}
+	for _, a := range l.exhaustiveLabelArrays() {
+		arrTargets[a] = true
+	}
+	es := &enumSets{members: map[string][]string{}, labels: map[string][]string{}}
+	fset := token.NewFileSet()
+	for _, path := range files {
+		file, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return nil, fmt.Errorf("dwslint: %w", err)
+		}
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			switch gd.Tok {
+			case token.CONST:
+				// Track the current enum type through an iota block: a spec
+				// with an explicit type sets it; an untyped, valueless spec
+				// continues it; anything else (a new untyped value) ends it.
+				cur := ""
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					if vs.Type != nil {
+						cur = ""
+						if id, ok := vs.Type.(*ast.Ident); ok && typeTargets[id.Name] {
+							cur = id.Name
+						}
+					} else if len(vs.Values) > 0 {
+						cur = ""
+					}
+					if cur == "" {
+						continue
+					}
+					for _, name := range vs.Names {
+						if ast.IsExported(name.Name) {
+							es.members[cur] = append(es.members[cur], name.Name)
+						}
+					}
+				}
+			case token.VAR:
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok || len(vs.Names) != 1 || !arrTargets[vs.Names[0].Name] || len(vs.Values) != 1 {
+						continue
+					}
+					cl, ok := vs.Values[0].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					name := vs.Names[0].Name
+					for _, elt := range cl.Elts {
+						if kv, ok := elt.(*ast.KeyValueExpr); ok {
+							elt = kv.Value
+						}
+						if lit, ok := elt.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+							if s, err := strconv.Unquote(lit.Value); err == nil {
+								es.labels[name] = append(es.labels[name], s)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return es, nil
+}
+
+func (l *Linter) lintPackageDir(dir string, enums *enumSets) ([]Finding, error) {
 	fset := token.NewFileSet()
 	entries, err := filepath.Glob(filepath.Join(dir, "*.go"))
 	if err != nil {
@@ -180,7 +313,7 @@ func (l *Linter) lintPackageDir(dir string) ([]Finding, error) {
 		// package has type errors; the returned error is ignored on purpose.
 		conf.Check(dir, fset, files, info) //nolint:errcheck
 		for _, file := range files {
-			w := &walker{l: l, fset: fset, info: info, file: file}
+			w := &walker{l: l, fset: fset, info: info, file: file, enums: enums}
 			ast.Walk(w, file)
 			all = append(all, w.applyIgnores()...)
 		}
@@ -213,6 +346,7 @@ type walker struct {
 	fset     *token.FileSet
 	info     *types.Info
 	file     *ast.File
+	enums    *enumSets
 	findings []Finding
 
 	// obsGuards caches the body ranges of `if ...trace != nil` statements
@@ -239,8 +373,67 @@ func (w *walker) Visit(n ast.Node) ast.Visitor {
 		w.checkGoroutine(n)
 	case *ast.CallExpr:
 		w.checkObsGuard(n)
+	case *ast.SwitchStmt:
+		w.checkExhaustiveSwitch(n)
 	}
 	return w
+}
+
+// checkExhaustiveSwitch flags a switch that dispatches on a guarded schema
+// enum (any case expression names one of its enumerators, or is one of its
+// label strings) but neither covers the full set nor carries a default.
+// Detection is name-based like obsguard: the fake importer cannot type a
+// cross-package tag expression, but the case expressions carry the
+// enumerator names either way.
+func (w *walker) checkExhaustiveSwitch(sw *ast.SwitchStmt) {
+	if w.enums == nil {
+		return
+	}
+	covered := map[string]bool{}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // a default clause absorbs future enumerators
+		}
+		for _, e := range cc.List {
+			switch v := e.(type) {
+			case *ast.Ident:
+				covered[v.Name] = true
+			case *ast.SelectorExpr:
+				covered[v.Sel.Name] = true
+			case *ast.BasicLit:
+				if v.Kind == token.STRING {
+					if s, err := strconv.Unquote(v.Value); err == nil {
+						covered[s] = true
+					}
+				}
+			}
+		}
+	}
+	report := func(kind, name string, set []string) {
+		hit, missing := false, []string(nil)
+		for _, m := range set {
+			if covered[m] {
+				hit = true
+			} else {
+				missing = append(missing, m)
+			}
+		}
+		if hit && len(missing) > 0 {
+			w.add(sw.Pos(), "exhaustiveswitch",
+				"switch over %s %s misses %s: cover every enumerator or add a default clause (schema drift otherwise goes unnoticed until the golden exports fail)",
+				name, kind, strings.Join(missing, ", "))
+		}
+	}
+	for _, t := range w.l.exhaustiveEnumTypes() {
+		report("enumerators", t, w.enums.members[t])
+	}
+	for _, a := range w.l.exhaustiveLabelArrays() {
+		report("labels", a, w.enums.labels[a])
+	}
 }
 
 // pkgPathOf resolves the import path when ident names an imported package,

@@ -131,6 +131,63 @@ func TestObsGuardFixture(t *testing.T) {
 	}
 }
 
+// TestExhaustiveSwitchFixture asserts the exhaustiveswitch check catches
+// the seeded partial switches over the fixture's enum and label array —
+// and nothing else: the exhaustive, defaulted, unrelated-string and
+// suppressed variants must stay silent.
+func TestExhaustiveSwitchFixture(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "exhaustive")
+	want := expectedFindings(t, filepath.Join(dir, "exhaustive.go"))
+	if len(want) == 0 {
+		t.Fatal("fixture has no // want markers")
+	}
+
+	findings, err := newTestLinter().LintDirs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := map[int][]string{}
+	for _, f := range findings {
+		got[f.Pos.Line] = append(got[f.Pos.Line], f.Check)
+	}
+	for line, check := range want {
+		found := false
+		for _, c := range got[line] {
+			if c == check {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("line %d: want a %q finding, got %v", line, check, got[line])
+		}
+	}
+	for line, checks := range got {
+		for _, c := range checks {
+			if want[line] != c {
+				t.Errorf("line %d: unexpected %q finding", line, c)
+			}
+		}
+	}
+}
+
+// TestExhaustiveSwitchScope asserts the check is driven by the configured
+// enum names: under a configuration naming no enum, the fixture is clean.
+func TestExhaustiveSwitchScope(t *testing.T) {
+	l := newTestLinter()
+	l.ExhaustiveEnumTypes = []string{"NoSuchType"}
+	l.ExhaustiveLabelArrays = []string{"NoSuchArray"}
+	findings, err := l.LintDirs(filepath.Join("testdata", "src", "exhaustive"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if f.Check == "exhaustiveswitch" {
+			t.Errorf("exhaustiveswitch fired outside its configured enums: %s", f)
+		}
+	}
+}
+
 // TestObsGuardScope asserts the check only applies inside ObsGuardDirs:
 // the same file linted under a non-hot-path configuration is clean.
 func TestObsGuardScope(t *testing.T) {

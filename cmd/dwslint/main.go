@@ -25,6 +25,10 @@ func main() {
 		"comma-separated path suffixes of files allowed to launch goroutines")
 	obsDirs := flag.String("obsguard-dirs", "",
 		"comma-separated path fragments where obs emissions must be guarded (default: the built-in hot-path set)")
+	enumTypes := flag.String("exhaustive-enums", "",
+		"comma-separated enum type names whose switches must be exhaustive or defaulted (default: the built-in schema set)")
+	labelArrays := flag.String("exhaustive-labels", "",
+		"comma-separated label-array names whose string switches must be exhaustive or defaulted (default: the built-in schema set)")
 	flag.Parse()
 
 	dirs := flag.Args()
@@ -41,6 +45,16 @@ func main() {
 	for _, s := range strings.Split(*obsDirs, ",") {
 		if s = strings.TrimSpace(s); s != "" {
 			l.ObsGuardDirs = append(l.ObsGuardDirs, s)
+		}
+	}
+	for _, s := range strings.Split(*enumTypes, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			l.ExhaustiveEnumTypes = append(l.ExhaustiveEnumTypes, s)
+		}
+	}
+	for _, s := range strings.Split(*labelArrays, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			l.ExhaustiveLabelArrays = append(l.ExhaustiveLabelArrays, s)
 		}
 	}
 

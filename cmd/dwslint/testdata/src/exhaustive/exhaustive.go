@@ -1,0 +1,87 @@
+// Fixture for the exhaustiveswitch check: the guarded schema enums are
+// defined locally (the linter extracts membership from the linted tree),
+// with violating, exhaustive, defaulted and suppressed switches over both
+// the iota enum and the label array.
+package exhaustive
+
+// EventKind mirrors the shape of obs.EventKind: a typed iota enum with an
+// unexported count sentinel (which must not be required in switches).
+type EventKind uint8
+
+const (
+	EvAlpha EventKind = iota
+	EvBeta
+	EvGamma
+	numEventKinds
+)
+
+// CycleBucketLabels mirrors the taxonomy label array.
+var CycleBucketLabels = [3]string{"busy", "mem_divergent", "idle"}
+
+func badEnum(k EventKind) int {
+	switch k { // want exhaustiveswitch
+	case EvAlpha:
+		return 1
+	case EvBeta:
+		return 2
+	}
+	return 0
+}
+
+func badLabel(s string) int {
+	switch s { // want exhaustiveswitch
+	case "busy":
+		return 1
+	}
+	return 0
+}
+
+func goodDefault(k EventKind) int {
+	switch k {
+	case EvAlpha:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func goodFull(k EventKind) int {
+	switch k {
+	case EvAlpha, EvBeta:
+		return 1
+	case EvGamma:
+		return 2
+	}
+	return 0
+}
+
+func goodLabels(s string) int {
+	switch s {
+	case "busy", "mem_divergent":
+		return 1
+	case "idle":
+		return 2
+	}
+	return 0
+}
+
+// A switch on unrelated strings must not trip the label matcher.
+func unrelated(s string) int {
+	switch s {
+	case "north":
+		return 1
+	case "south":
+		return 2
+	}
+	return 0
+}
+
+func suppressed(k EventKind) int {
+	switch k { //dwslint:ignore caller dispatches the remaining kinds
+	case EvAlpha:
+		return 1
+	}
+	return 0
+}
+
+var _ = [...]any{badEnum, badLabel, goodDefault, goodFull, goodLabels, unrelated, suppressed, numEventKinds}

@@ -9,7 +9,7 @@
 //	dwsreport -quick          # trimmed Figure 18 grid
 //	dwsreport -only 13        # a single exhibit (t1, 1a, 1b, 1c, 7, 11, 13,
 //	                          # 14, 15, 16, 17, 18, 19, 20, 21, headline,
-//	                          # stalls, ablation, access)
+//	                          # stalls, ablation, access, costmodel)
 //	dwsreport -csv out/       # additionally write one CSV per exhibit
 //	dwsreport -j 8            # simulate up to 8 points concurrently
 //	dwsreport -nocache        # ignore the on-disk result store
@@ -192,6 +192,13 @@ func main() {
 			}
 			return csvOut(func(d string) error { return report.MemAccessCSV(d, rows) })
 		}, "Access classes (static analysis)"},
+		{"costmodel", func() error {
+			rows, err := s.CostModel(w)
+			if err != nil {
+				return err
+			}
+			return csvOut(func(d string) error { return report.CostModelCSV(d, rows) })
+		}, "Cost model (static analysis)"},
 	}
 	// exhibitStat mirrors the stderr progress line as machine-readable JSON
 	// for -stats; Seconds is wall-clock and therefore volatile.

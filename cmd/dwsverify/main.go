@@ -33,6 +33,7 @@ func main() {
 		showDis   = flag.Bool("disasm", false, "print each kernel's disassembly with block and branch metadata")
 		showDiv   = flag.Bool("divergence", false, "print each kernel's divergence-analysis report (branch and access classes)")
 		showMem   = flag.Bool("memaccess", false, "print each kernel's memory-access report (access classes, transaction and bank-conflict bounds)")
+		showCost  = flag.Bool("costmodel", false, "print each kernel's static cost model (trip counts, cycle bounds, benefit scores, scheme ranking)")
 	)
 	flag.Parse()
 
@@ -80,6 +81,9 @@ func main() {
 			}
 			if *showMem {
 				fmt.Print(p.MemAccessReport())
+			}
+			if *showCost {
+				fmt.Print(p.CostModelReport())
 			}
 		}
 	}

@@ -1,0 +1,114 @@
+package program
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// FuzzCostModel cross-checks the static cost model against a concrete
+// multi-tid interpreter on loop-free programs (the memfuzz generator:
+// forward-only branches, so every (pc, tid) execution happens at most
+// once and the interpreter enumerates the exact dynamic behaviour). The
+// model's per-thread claims must hold for every thread:
+//
+//   - each thread's execution count of every basic block lies inside the
+//     block's static Execs interval (this is the claim the post-dominator
+//     lower-bound fixpoint and the loop-trip upper bounds compose into);
+//   - no thread executes a pc more often than the pc's static issue
+//     bound (one SIMD issue covers at least that thread's one slot, so
+//     per-thread executions can never exceed total issues);
+//   - the summed guaranteed work Σ_blocks Execs.Lo·len — the lower
+//     bound Ticks.Lo is built from — never exceeds the cheapest thread's
+//     executed instruction count.
+func FuzzCostModel(f *testing.F) {
+	// Seeds: a tid-dependent branch over an ALU diamond, a strided
+	// store/load pair, a straight-line program, garbage.
+	f.Add([]byte{5, 4, 1, 19, 2, 4, 1, 9, 1, 23, 5, 4})
+	f.Add([]byte{14, 4, 33, 23, 5, 4, 24, 40, 4})
+	f.Add([]byte{1, 4, 7, 2, 5, 4, 3, 6, 5})
+	f.Add([]byte{21, 1, 1, 23, 2, 4, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := buildMemFuzzProgram(data)
+		if p == nil {
+			return
+		}
+		const T = 6
+		cp := CostParams{
+			WPUs: 1, Warps: 1, Width: T, Threads: T,
+			Mem: MemParams{Lanes: T, LineBytes: 32, Banks: 4, TidStep: 1},
+		}
+		m := p.CostModelFor(cp)
+
+		visits := make([][]int64, T) // visits[tid][pc]
+		minOps := int64(-1)
+		for tid := 0; tid < T; tid++ {
+			visits[tid] = make([]int64, len(p.Code))
+			var rf isa.RegFile
+			rf.Set(1, int64(tid))         // global tid
+			rf.Set(2, T)                  // uniform thread count
+			rf.Set(3, int64((tid*7+3)%5)) // chunk-local index, ⊆ [0, T-1]
+			mem := make(map[uint64]int64)
+			pc := 0
+			ops := int64(0)
+			for steps := 0; steps <= len(p.Code); steps++ {
+				in := p.Code[pc]
+				visits[tid][pc]++
+				ops++
+				if in.Op == isa.HALT {
+					break
+				}
+				switch {
+				case in.Op.IsMem():
+					addr := uint64(rf.Get(in.SrcA) + in.Imm)
+					if in.Op == isa.ST {
+						mem[addr] = rf.Get(in.SrcB)
+					} else {
+						rf.Set(in.Dst, mem[addr])
+					}
+					pc++
+				case in.Op.IsBranch():
+					if isa.BranchTaken(in, &rf) {
+						pc = in.Target
+					} else {
+						pc++
+					}
+				case in.Op == isa.JMP:
+					pc = in.Target
+				default:
+					isa.ExecALU(in, &rf)
+					pc++
+				}
+			}
+			if minOps < 0 || ops < minOps {
+				minOps = ops
+			}
+		}
+
+		for tid := 0; tid < T; tid++ {
+			for _, b := range m.Blocks {
+				got := visits[tid][p.Blocks[b.ID].Start]
+				if !b.Execs.Contains(got) {
+					t.Fatalf("tid %d executed block B%d %d times, static bound %s\n%s",
+						tid, b.ID, got, b.Execs, p.Disassemble())
+				}
+			}
+			for pc := range p.Code {
+				iv := CostInterval{0, m.Issues[pc].Hi}
+				if v := visits[tid][pc]; v > 0 && !iv.Contains(v) {
+					t.Fatalf("tid %d executed pc %d %d times, static issue bound %s\n%s",
+						tid, pc, v, m.Issues[pc], p.Disassemble())
+				}
+			}
+		}
+
+		lowerOps := int64(0)
+		for _, b := range m.Blocks {
+			lowerOps += b.Execs.Lo * int64(p.Blocks[b.ID].Len())
+		}
+		if lowerOps > minOps {
+			t.Fatalf("static guaranteed work %d exceeds cheapest thread's %d executed instructions\n%s",
+				lowerOps, minOps, p.Disassemble())
+		}
+	})
+}

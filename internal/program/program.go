@@ -87,6 +87,7 @@ type Program struct {
 	uniforms       uint32 // subset the launcher promises warp-uniform
 	inputsDeclared bool
 	regions        []RegionDecl
+	uranges        []UniformRange // declared value ranges of uniform inputs
 	maxThreads     int
 	shortLimit     int
 
@@ -99,6 +100,12 @@ type Program struct {
 	// cross-checks it against a fresh analysis run; the WPU derives
 	// machine-specific transaction bounds from it via MemAccessFor.
 	memAccess []MemAccessInfo
+
+	// cost is the static cost model recorded at Build time under
+	// DefaultCostParams and the declared thread count (costmodel.go). The
+	// verifier cross-checks it against a fresh run; launch-specific
+	// geometries recompute via CostModelFor.
+	cost *CostModel
 
 	// uniformBranch[pc] mirrors BranchInfo.Uniform as a dense slice: the
 	// WPU queries it on every executed branch, so the fast-path test must
@@ -160,10 +167,27 @@ func (p *Program) Disassemble() string {
 	for _, b := range p.Blocks {
 		blockAt[b.Start] = b.ID
 	}
+	// Cost-model annotations (costmodel.go): per-block execution bounds on
+	// block headers and the subdivision-benefit score on each divergence
+	// site, so a disassembly shows where subdividing is predicted to pay.
+	execAt := make(map[int]CostInterval)
+	benefitAt := make(map[int]float64)
+	if p.cost != nil {
+		for _, bc := range p.cost.Blocks {
+			execAt[bc.ID] = bc.Execs
+		}
+		for _, s := range p.cost.Sites {
+			benefitAt[s.PC] = s.Benefit
+		}
+	}
 	ai := 0
 	for pc, in := range p.Code {
 		if id, ok := blockAt[pc]; ok {
-			fmt.Fprintf(&sb, "B%d:\n", id)
+			fmt.Fprintf(&sb, "B%d:", id)
+			if iv, ok := execAt[id]; ok {
+				fmt.Fprintf(&sb, "\t; execs=%s", iv)
+			}
+			sb.WriteByte('\n')
 		}
 		fmt.Fprintf(&sb, "  %4d  %s", pc, in)
 		if bi, ok := p.branches[pc]; ok {
@@ -184,6 +208,9 @@ func (p *Program) Disassemble() string {
 			a := p.memAccess[ai]
 			fmt.Fprintf(&sb, "\t; %s tx<=%d", a.AClass, a.Transactions)
 		}
+		if ben, ok := benefitAt[pc]; ok {
+			fmt.Fprintf(&sb, "\t; benefit=%.1f", ben)
+		}
 		sb.WriteByte('\n')
 	}
 	return sb.String()
@@ -201,6 +228,7 @@ type Builder struct {
 	uniforms       uint32
 	inputsDeclared bool
 	regions        []RegionDecl
+	uranges        []UniformRange
 	maxThreads     int
 
 	// ShortBlockLimit overrides the subdivide-branch heuristic threshold;
@@ -526,6 +554,7 @@ func (b *Builder) Build() (*Program, error) {
 	p.uniforms = b.uniforms
 	p.inputsDeclared = b.inputsDeclared
 	p.regions = append([]RegionDecl(nil), b.regions...)
+	p.uranges = append([]UniformRange(nil), b.uranges...)
 	p.maxThreads = b.maxThreads
 	p.shortLimit = limit
 
@@ -558,6 +587,12 @@ func (b *Builder) Build() (*Program, error) {
 	// warp access pattern and bound its worst-case line transactions. The
 	// verifier below recomputes and cross-checks this table.
 	p.memAccess = p.buildMemAccess(div, DefaultMemParams)
+
+	// Static cost model (costmodel.go): trip counts, cycle bounds, and
+	// subdivision-benefit scores under the default machine geometry and the
+	// declared thread count. Launch-time geometries recompute via
+	// CostModelFor; the verifier below cross-checks this record.
+	p.cost = p.CostModelFor(CostParams{})
 
 	findings := p.Verify()
 	var errs []Finding

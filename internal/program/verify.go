@@ -111,7 +111,67 @@ func (p *Program) Verify() []Finding {
 	fs = append(fs, p.checkBarriers(reach)...)
 	fs = append(fs, p.checkBounds(div)...)
 	fs = append(fs, p.checkMemAccess(div)...)
+	fs = append(fs, p.checkCostModel()...)
 	sortFindings(fs)
+	return fs
+}
+
+// checkCostModel re-runs the static cost analysis (costmodel.go) under the
+// parameters recorded at Build and cross-checks the stored model against
+// the fresh run, plus the internal Lo<=Hi invariants every interval must
+// satisfy. Like checkMemAccess, this guards against the recorded table
+// drifting from the analysis that claims to describe it.
+func (p *Program) checkCostModel() []Finding {
+	if p.cost == nil {
+		return nil
+	}
+	var fs []Finding
+	fresh := p.CostModelFor(p.cost.Params)
+	if got, want := p.cost.Report(p.Name), fresh.Report(p.Name); got != want {
+		fs = append(fs, Finding{
+			PC: -1, Block: -1, Severity: Err, Check: "costmodel",
+			Msg: "recorded cost model disagrees with a fresh analysis run",
+		})
+	}
+	bad := func(iv CostInterval) bool { return iv.Lo > iv.Hi || iv.Lo < 0 }
+	if bad(fresh.Ticks) {
+		fs = append(fs, Finding{
+			PC: -1, Block: -1, Severity: Err, Check: "costmodel",
+			Msg: fmt.Sprintf("tick bound inverted or negative: %s", fresh.Ticks),
+		})
+	}
+	for i, b := range fresh.Buckets {
+		if bad(b) {
+			fs = append(fs, Finding{
+				PC: -1, Block: -1, Severity: Err, Check: "costmodel",
+				Msg: fmt.Sprintf("bucket %s bound inverted or negative: %s", CostBucketLabels[i], b),
+			})
+		}
+	}
+	for _, bc := range fresh.Blocks {
+		if bad(bc.Execs) {
+			fs = append(fs, Finding{
+				PC: -1, Block: bc.ID, Severity: Err, Check: "costmodel",
+				Msg: fmt.Sprintf("block execution bound inverted or negative: %s", bc.Execs),
+			})
+		}
+	}
+	for _, lc := range fresh.Loops {
+		if bad(lc.Trips) {
+			fs = append(fs, Finding{
+				PC: lc.HeaderPC, Block: lc.Header, Severity: Err, Check: "costmodel",
+				Msg: fmt.Sprintf("trip bound inverted or negative: %s", lc.Trips),
+			})
+		}
+	}
+	for pc, iv := range fresh.Issues {
+		if bad(iv) {
+			fs = append(fs, Finding{
+				PC: pc, Block: -1, Severity: Err, Check: "costmodel",
+				Msg: fmt.Sprintf("issue bound inverted or negative: %s", iv),
+			})
+		}
+	}
 	return fs
 }
 

@@ -79,6 +79,41 @@ func DefaultConfig() Config {
 	}
 }
 
+// CostParamsFor translates a machine configuration plus a launch thread
+// count into the static cost model's parameter block (the Launch-time
+// mirror of program.CostModelFor's Build-time defaults). MemTxWorst
+// composes the worst path one line transaction can take through this
+// hierarchy: L1 probe + crossbar there and back with occupancy + L2
+// lookup + L2 probe + memory bus both ways + two DRAM accesses (the
+// second covering a dirty-line writeback or queueing behind one).
+func CostParamsFor(cfg Config, threads int) program.CostParams {
+	w := cfg.WPU.Normalized()
+	if cfg.Dist == DistInterleave {
+		w.LaneTidStep = cfg.WPUs
+	}
+	if w.LaneTidStep <= 0 {
+		w.LaneTidStep = 1
+	}
+	h := cfg.Hier
+	memTx := h.L1.HitLat + 2*(h.XbarLat+h.XbarOcc) + h.L2.LookupLat + h.L2.ProbeLat + 2*h.MemBusOcc + 2*h.DRAMLat
+	return program.CostParams{
+		WPUs:        cfg.WPUs,
+		Warps:       w.Warps,
+		Width:       w.Width,
+		Threads:     threads,
+		HitLat:      int(h.L1.HitLat),
+		MemTxWorst:  int(memTx),
+		IMissLat:    w.IMissLat,
+		ICacheLines: w.ICacheLines,
+		Mem: program.MemParams{
+			Lanes:     w.Width,
+			LineBytes: int64(h.L1.LineSize),
+			Banks:     h.L1.Banks,
+			TidStep:   int64(w.LaneTidStep),
+		},
+	}
+}
+
 // System is one assembled machine instance. The simulated clock persists
 // across kernels so multi-pass workloads accumulate a single timeline.
 type System struct {

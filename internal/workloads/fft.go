@@ -25,7 +25,12 @@ func fftBitrevKernel(n, maxThreads int) *program.Program {
 	b.DeclareRegion(5, int64(n))
 	b.DeclareRegion(6, int64(n))
 	b.DeclareRegion(7, int64(n))
-	b.DeclareUniformInputs(8, 9)
+	lg := 0
+	for 1<<lg < n {
+		lg++
+	}
+	b.DeclareUniformRange(8, int64(n), int64(n))
+	b.DeclareUniformRange(9, int64(lg), int64(lg))
 	b.DeclareThreads(maxThreads)
 	b.Mov(10, 1) // i = tid
 	b.Label("loop")
@@ -68,7 +73,12 @@ func fftStageKernel(n, maxThreads int) *program.Program {
 	b.DeclareRegion(5, int64(n))
 	b.DeclareRegion(6, int64(n/2))
 	b.DeclareRegion(7, int64(n/2))
-	b.DeclareUniformInputs(9, 10, 11, 12)
+	// Stage s launches m = 2^s (s = 1..log2 n), half = m/2, stride = n/m,
+	// and a fixed n/2 butterflies; the ranges cover every stage.
+	b.DeclareUniformRange(9, 2, int64(n))
+	b.DeclareUniformRange(10, 1, int64(n/2))
+	b.DeclareUniformRange(11, 1, int64(n/2))
+	b.DeclareUniformRange(12, int64(n/2), int64(n/2))
 	b.DeclareThreads(maxThreads)
 	b.Mov(13, 1) // b = tid
 	b.Label("loop")

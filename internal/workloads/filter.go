@@ -25,7 +25,9 @@ func filterKernel(width, height, maxThreads int) *program.Program {
 	w := int64(width)
 	b.DeclareRegion(4, w*int64(height))
 	b.DeclareRegion(5, w*int64(height))
-	b.DeclareUniformInputs(7, 8)
+	iw := w - 2
+	b.DeclareUniformRange(7, iw, iw)
+	b.DeclareUniformRange(8, iw*int64(height-2), iw*int64(height-2))
 	b.DeclareThreads(maxThreads)
 	b.Mov(9, 1) // p = tid
 	b.Label("loop")

@@ -29,7 +29,7 @@ func hotspotKernel(width, height, maxThreads int) *program.Program {
 	b.DeclareRegion(4, cells)
 	b.DeclareRegion(5, cells)
 	b.DeclareRegion(6, cells)
-	b.DeclareUniformInputs(8)
+	b.DeclareUniformRange(8, cells, cells)
 	b.DeclareThreads(maxThreads)
 	b.Mov(10, 1) // cell = tid
 	b.Label("loop")

@@ -31,7 +31,9 @@ func kmeansAssignKernel(p, k, d, maxThreads int) *program.Program {
 	b.DeclareRegion(4, int64(p*d))
 	b.DeclareRegion(5, int64(k*d))
 	b.DeclareRegion(6, int64(p))
-	b.DeclareUniformInputs(7, 8, 9)
+	b.DeclareUniformRange(7, int64(p), int64(p))
+	b.DeclareUniformRange(8, int64(k), int64(k))
+	b.DeclareUniformRange(9, int64(d), int64(d))
 	b.DeclareThreads(maxThreads)
 	b.Mov(10, 1) // p = tid
 	b.Label("ploop")
@@ -94,7 +96,10 @@ func kmeansUpdateKernel(p, k, ch, maxThreads int) *program.Program {
 	b.DeclareRegion(5, int64(p))
 	b.DeclareRegion(6, int64(k*ch*d))
 	b.DeclareRegion(7, int64(k*ch))
-	b.DeclareUniformInputs(9, 10, 11, 12)
+	b.DeclareUniformRange(9, int64(d), int64(d))
+	b.DeclareUniformRange(10, int64(k*ch), int64(k*ch))
+	b.DeclareUniformRange(11, int64(ch), int64(ch))
+	b.DeclareUniformRange(12, int64(p/ch), int64(p/ch))
 	b.DeclareThreads(maxThreads)
 	b.Mov(13, 1) // t = tid
 	b.Label("loop")
@@ -153,7 +158,9 @@ func kmeansReduceKernel(k, d, ch, maxThreads int) *program.Program {
 	b.DeclareRegion(5, int64(k*ch))
 	b.DeclareRegion(6, int64(k*d))
 	b.DeclareRegion(7, int64(k))
-	b.DeclareUniformInputs(8, 9, 10)
+	b.DeclareUniformRange(8, int64(k*d), int64(k*d))
+	b.DeclareUniformRange(9, int64(d), int64(d))
+	b.DeclareUniformRange(10, int64(ch), int64(ch))
 	b.DeclareThreads(maxThreads)
 	b.Mov(11, 1)
 	b.Label("loop")
@@ -205,7 +212,8 @@ func kmeansFinalizeKernel(k, d, maxThreads int) *program.Program {
 	b.DeclareRegion(4, int64(k*d))
 	b.DeclareRegion(5, int64(k*d))
 	b.DeclareRegion(6, int64(k))
-	b.DeclareUniformInputs(7, 8)
+	b.DeclareUniformRange(7, int64(k*d), int64(k*d))
+	b.DeclareUniformRange(8, int64(d), int64(d))
 	b.DeclareThreads(maxThreads)
 	b.Mov(9, 1)
 	b.Label("loop")

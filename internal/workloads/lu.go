@@ -21,7 +21,8 @@ const luN = 72
 func luScaleKernel(n, maxThreads int) *program.Program {
 	b := program.NewBuilder("lu-scale")
 	b.DeclareRegion(4, int64(n)*int64(n))
-	b.DeclareUniformInputs(5, 6)
+	b.DeclareUniformRange(5, int64(n), int64(n))
+	b.DeclareUniformRange(6, 0, int64(n-2)) // elimination step k
 	b.DeclareThreads(maxThreads)
 	b.Addi(8, 6, 1)
 	b.Add(8, 8, 1) // i = k+1+tid
@@ -52,7 +53,10 @@ func luScaleKernel(n, maxThreads int) *program.Program {
 func luUpdateKernel(n, maxThreads int) *program.Program {
 	b := program.NewBuilder("lu-update")
 	b.DeclareRegion(4, int64(n)*int64(n))
-	b.DeclareUniformInputs(5, 6, 7, 8)
+	b.DeclareUniformRange(5, int64(n), int64(n))
+	b.DeclareUniformRange(6, 0, int64(n-2))            // elimination step k
+	b.DeclareUniformRange(7, 1, int64(n-1))            // span = N-k-1
+	b.DeclareUniformRange(8, 1, int64(n-1)*int64(n-1)) // span²
 	b.DeclareThreads(maxThreads)
 	b.Mov(9, 1) // m = tid
 	b.Label("loop")

@@ -23,7 +23,9 @@ const mergeN = 4096
 func mergeKernel(n, maxThreads int) *program.Program {
 	b := program.NewBuilder("merge-bitonic")
 	b.DeclareRegion(4, 3*int64(n)) // 24-byte records
-	b.DeclareUniformInputs(6, 7, 8)
+	b.DeclareUniformRange(6, int64(n), int64(n))
+	b.DeclareUniformRange(7, 1, int64(n/2)) // partner stride j
+	b.DeclareUniformRange(8, 2, int64(n))   // direction block size k
 	b.DeclareThreads(maxThreads)
 	b.Mov(9, 1) // idx = tid
 	b.Label("loop")

@@ -27,7 +27,8 @@ func shortKernel(choices, maxThreads int) *program.Program {
 	b := program.NewBuilder("short")
 	b.DeclareRegion(4, int64(choices))
 	b.DeclareRegion(5, int64(choices))
-	b.DeclareUniformInputs(6, 7)
+	b.DeclareUniformRange(6, int64(choices), int64(choices))
+	b.DeclareUniformRange(7, 0, shortSteps-1)
 	b.DeclareThreads(maxThreads)
 	b.Mov(8, 1) // j = tid
 	b.Label("loop")

@@ -27,7 +27,10 @@ func svmKernel(n, d, band, maxThreads int) *program.Program {
 	b := program.NewBuilder("svm")
 	b.DeclareRegion(4, int64(n*d))
 	b.DeclareRegion(5, int64(n*band))
-	b.DeclareUniformInputs(6, 7, 8, 9)
+	b.DeclareUniformRange(6, int64(n), int64(n))
+	b.DeclareUniformRange(7, int64(d), int64(d))
+	b.DeclareUniformRange(8, int64(n*band), int64(n*band))
+	b.DeclareUniformRange(9, int64(band), int64(band))
 	b.DeclareThreads(maxThreads)
 	b.Mov(10, 1) // pair = tid
 	b.Label("loop")

@@ -179,6 +179,11 @@ type Config struct {
 	SlipLower    float64
 }
 
+// Normalized returns the configuration with every derived default filled
+// in, exactly as New applies it — for callers (sim.CostParamsFor) that
+// need the effective values without building a WPU.
+func (c Config) Normalized() Config { return c.withDefaults() }
+
 // withDefaults fills derived defaults.
 func (c Config) withDefaults() Config {
 	if c.SchedSlots <= 0 {

@@ -14,6 +14,10 @@ const (
 	icacheInstPerLine  = 16 // 128 B line / 8 B encoded instruction
 )
 
+// ICacheInstPerLine exports the fetch-line packing so the static cost
+// model's icache budget (program.CostInstPerLine) can be pinned against it.
+const ICacheInstPerLine = icacheInstPerLine
+
 type icacheLine struct {
 	tag     int
 	valid   bool

@@ -291,6 +291,17 @@ func (w *WPU) Launch(prog *program.Program, regs []isa.RegFile) error {
 		// path through program.Build) are safe to run.
 		return fmt.Errorf("wpu %d: program %q has not passed the static verifier", w.ID, prog.Name)
 	}
+	// The static cost model's trip bounds rest on the declared input
+	// ranges; a launch value outside them would silently void every bound,
+	// so reject it here the way capacity violations are rejected.
+	for _, u := range prog.UniformRanges() {
+		for i := range regs {
+			if v := regs[i].Get(u.Reg); v < u.Lo || v > u.Hi {
+				return fmt.Errorf("wpu %d: program %q: thread %d launches r%d=%d outside its declared range [%d,%d]",
+					w.ID, prog.Name, i, u.Reg, v, u.Lo, u.Hi)
+			}
+		}
+	}
 	w.prog = prog
 	w.code = prog.Decoded()
 	// Recompute the static worst-case transaction bounds for THIS WPU's
