@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: ci lint fmt-check vet dwslint dwsverify build test race bench bench-check bench-baseline profile profile-diff report metrics trace update-goldens
+.PHONY: ci lint fmt-check vet dwslint dwsverify build test race bench bench-check bench-baseline profile profile-diff report metrics trace update-goldens serve
 
 ci: fmt-check vet lint build race test bench-check
 
@@ -23,7 +23,7 @@ dwsverify:
 # goldens, and the workloads analysis reports (divergence, memory access,
 # cost model).
 update-goldens:
-	$(GO) test ./internal/obs/... ./internal/report/... ./internal/workloads/... -update
+	$(GO) test ./internal/obs/... ./internal/report/... ./internal/workloads/... ./internal/serve/... -update
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -39,10 +39,11 @@ test:
 	$(GO) test ./...
 
 # The race run exercises concurrent Session use (singleflight, worker
-# pool, disk store) plus the observability exports (golden/determinism
-# tests) over the report and obs packages.
+# pool, sharded disk store), the observability exports
+# (golden/determinism tests), and the daemon's end-to-end paths
+# (concurrent submissions, SSE subscribers racing the publisher).
 race:
-	$(GO) test -race ./internal/report/... ./internal/obs/...
+	$(GO) test -race ./internal/report/... ./internal/obs/... ./internal/serve/...
 
 # Baseline perf snapshot: the full exhibit set at -j 1 vs -j GOMAXPROCS
 # (see EXPERIMENTS.md for recorded numbers).
@@ -75,6 +76,13 @@ BASE  ?= cpu.before.pprof
 AFTER ?= cpu.pprof
 profile-diff:
 	$(GO) tool pprof -top -nodecount 25 -diff_base $(BASE) $(AFTER)
+
+# Run the simulation-as-a-service daemon (see README "Running the
+# server"): POST /v1/jobs, GET /v1/results/{key}, SSE streaming,
+# /metrics. ADDR overrides the listen address.
+ADDR ?= :8091
+serve:
+	$(GO) run ./cmd/dwsimd -addr $(ADDR)
 
 # Regenerate the paper's exhibits with the parallel executor.
 report:

@@ -9,7 +9,8 @@
 // allocs/op, and compares them against the checked-in
 // BENCH_baseline.json.
 //
-// Gating rules, both with a relative tolerance (default 10%):
+// Gating rules, both with a relative tolerance (default 10%; IO-bound
+// benchmarks carry wider per-name overrides, see tolOverrides):
 //   - ns/op is wall time and noisy, so the minimum across -count runs is
 //     compared — that filters scheduler noise;
 //   - allocs/op is effectively deterministic; a zero baseline (the
@@ -124,6 +125,15 @@ var suites = []suite{
 	// one-shot macro-benchmarks.
 	{pkg: "./internal/obs", bench: "^BenchmarkHistRecord$", benchtime: "2000000x", count: 5},
 	{pkg: ".", bench: "^BenchmarkObsOverhead$", benchtime: "2x", count: 7},
+	// Sharded result store under parallel clients: the sharded/single pair
+	// measures the same workload over 16 shards vs one global lock, and
+	// the relGate below keeps the sharding advantage from silently
+	// regressing to a single-mutex store. The store is IO-bound (atomic
+	// temp+rename persists under contention), so it needs more reps than
+	// the in-memory benchmarks for a stable minimum — and even then its
+	// absolute ns/op is the noisiest in the gate, hence the tolOverrides
+	// entries below; the ratio gate is the real instrument here.
+	{pkg: "./internal/report", bench: "^BenchmarkStoreShardedParallel$", benchtime: "1500x", count: 7},
 	// Program-build budget: every static analysis (divergence dataflow,
 	// memory-access classification, verification) runs inside Build, so
 	// kernel construction cost is where analysis additions would creep.
@@ -156,6 +166,27 @@ type relGate struct {
 var relGates = []relGate{
 	{name: "ObsOverhead/off", ref: "FullReportShort", tol: 0.10},
 	{name: "ObsOverhead/on", ref: "ObsOverhead/off", tol: 0.10},
+	// The store-sharding speedup: sharded must stay well under the
+	// single-lock time for the same parallel workload. If per-shard
+	// locking degrades to effectively global (a lock hoisted out of the
+	// shard, a shared map reintroduced), this ratio roughly doubles
+	// (+150% on the measured ~0.4 baseline) and trips long before the
+	// absolute gate notices. The 40% tolerance absorbs the IO-driven
+	// scatter both sides show on a loaded 1-core host while staying far
+	// below that failure signature.
+	{name: "StoreShardedParallel/sharded", ref: "StoreShardedParallel/single", tol: 0.40},
+}
+
+// tolOverrides widens the absolute ns/op gate for benchmarks whose
+// floor is set by the filesystem rather than the CPU: min-of-count
+// filters scheduler noise but not write-back and rename latency, so the
+// store pair scatters ±25% run-to-run where the compute benchmarks hold
+// a few percent. The effective tolerance is max(flag, override), and
+// the sharded-vs-single relGate above still pins the property the pair
+// exists to protect.
+var tolOverrides = map[string]float64{
+	"StoreShardedParallel/sharded": 0.45,
+	"StoreShardedParallel/single":  0.45,
 }
 
 // benchLine matches one `go test -bench -benchmem` result line, e.g.:
@@ -231,6 +262,10 @@ func compare(base Baseline, got map[string]Result, tol float64) []string {
 		if !ok {
 			failures = append(failures, fmt.Sprintf("%s: in baseline but not measured (benchmark renamed or deleted?)", name))
 			continue
+		}
+		tol := tol
+		if o, ok := tolOverrides[name]; ok && o > tol {
+			tol = o
 		}
 		// A zero alloc baseline fails on any alloc at all: the engine's
 		// allocation-free steady state must not erode by "just one".

@@ -1,0 +1,82 @@
+// dwsimd is the simulation-as-a-service daemon: a long-running HTTP
+// server that accepts simulation and sweep jobs as validated JSON,
+// deduplicates them through the singleflight report.Session, executes
+// them on a bounded worker pool over the sharded on-disk result store,
+// and streams observability events for traced runs as Server-Sent
+// Events. See README "Running the server" for the endpoint reference.
+//
+// Usage:
+//
+//	dwsimd -addr :8091
+//	dwsimd -addr :8091 -j 4 -cachemb 256 -shards 16
+//
+//	curl -s localhost:8091/healthz
+//	curl -s -X POST localhost:8091/v1/jobs -d '{"schema_version":1,"bench":"Merge","knobs":{"scheme":"DWS.ReviveSplit"}}'
+//	curl -s localhost:8091/v1/jobs/j001
+//	curl -s localhost:8091/v1/results/<result_key>
+//	curl -sN localhost:8091/v1/jobs/j002/stream        # traced job: SSE
+//	curl -s localhost:8091/metrics                     # Prometheus text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"repro/internal/report"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8091", "listen address")
+		jobs        = flag.Int("j", 0, "max concurrently executing jobs (0 = GOMAXPROCS)")
+		cacheDir    = flag.String("cachedir", "", "on-disk result store directory (default ~/.cache/dwsim)")
+		noCache     = flag.Bool("nocache", false, "disable the on-disk result store")
+		cacheMB     = flag.Int64("cachemb", 0, "LRU byte cap on the store in MiB (0 = unbounded)")
+		shards      = flag.Int("shards", 0, "store shard count (0 = the default, 16)")
+		streamEvery = flag.Uint64("streamevery", 0, "SSE publish cadence in simulated cycles for traced jobs (0 = a coarse default)")
+		noVerify    = flag.Bool("noverify", false, "skip functional verification of results against the host reference")
+	)
+	flag.Parse()
+
+	opts := []report.Option{report.WithJobs(*jobs)}
+	var st *report.Store
+	if !*noCache {
+		var err error
+		st, err = report.OpenStoreWith(*cacheDir, report.StoreOptions{
+			MaxBytes: *cacheMB << 20,
+			Shards:   *shards,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dwsimd: %v (continuing without the on-disk store)\n", err)
+		} else {
+			opts = append(opts, report.WithStore(st))
+		}
+	}
+	session := report.NewSession(opts...)
+	session.Verify = !*noVerify
+
+	srv := serve.New(serve.Config{
+		Session:     session,
+		Store:       st,
+		Workers:     *jobs,
+		StreamEvery: *streamEvery,
+	})
+	srv.Start()
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dwsimd:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "dwsimd: serving on http://%s/ (POST /v1/jobs, GET /metrics; schema v%d)\n",
+		ln.Addr(), serve.WireSchemaVersion)
+	if err := http.Serve(ln, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "dwsimd:", err)
+		os.Exit(1)
+	}
+}

@@ -20,7 +20,8 @@
 //     replaced with insertion-ordered slices (see wpu.progBases).
 //   - goroutine:  a go statement outside the approved executor files. All
 //     simulator concurrency must flow through the report.Session worker
-//     pool, whose merge order is deterministic.
+//     pool, whose merge order is deterministic, or the serve daemon's job
+//     pool (internal/serve/pool.go), which only ever runs Session calls.
 //   - exhaustiveswitch: a switch dispatching on one of the schema enums —
 //     obs.EventKind (case expressions name Ev* enumerators) or the cycle
 //     taxonomy (case expressions are CycleBucketLabels strings) — that

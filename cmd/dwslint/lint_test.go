@@ -8,8 +8,13 @@ import (
 	"testing"
 )
 
+// newTestLinter mirrors main.go's default approved-goroutine set: the
+// report executor's worker pool and the serve daemon's job pool.
 func newTestLinter() *Linter {
-	return &Linter{ApprovedGoroutineFiles: []string{"internal/report/runner.go"}}
+	return &Linter{ApprovedGoroutineFiles: []string{
+		"internal/report/runner.go",
+		"internal/serve/pool.go",
+	}}
 }
 
 // expectedFindings parses the `// want <check>` markers out of a fixture.

@@ -20,8 +20,11 @@ import (
 )
 
 func main() {
+	// The approved set: the report executor's worker pool and the serve
+	// daemon's job pool. Everything else under ./internal must stay
+	// single-goroutine (per-System determinism depends on it).
 	approved := flag.String("approved-goroutine-files",
-		"internal/report/runner.go",
+		"internal/report/runner.go,internal/serve/pool.go",
 		"comma-separated path suffixes of files allowed to launch goroutines")
 	obsDirs := flag.String("obsguard-dirs", "",
 		"comma-separated path fragments where obs emissions must be guarded (default: the built-in hot-path set)")

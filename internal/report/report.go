@@ -116,6 +116,11 @@ func (k Knobs) key(bench string) string {
 	return fmt.Sprintf("%s|%#v", bench, k)
 }
 
+// Key exposes the cache key for one point. The serve layer digests it
+// into result keys, so a result computed by any server process for the
+// same (benchmark, Knobs) point gets the same address.
+func (k Knobs) Key(bench string) string { return k.key(bench) }
+
 // CacheStats counts how Session.Run requests were satisfied.
 type CacheStats struct {
 	MemHits  uint64 `json:"mem_hits"`  // served from the in-memory cache (or joined in flight)
@@ -229,11 +234,20 @@ func (s *Session) Run(bench string, k Knobs) (Result, error) {
 // tracing the same point twice runs twice, each call filling its own
 // sink.
 func (s *Session) RunTraced(bench string, k Knobs, tr *obs.Trace) (Result, error) {
+	return s.RunTracedWith(bench, k, tr, s.OnSystem)
+}
+
+// RunTracedWith is RunTraced with a per-call machine hook replacing the
+// session-wide OnSystem: the dwsimd streaming path uses it to chain a
+// per-job publisher onto the freshly built System's Tracer without racing
+// other jobs on one shared hook. The hook (like OnSystem) runs on the
+// goroutine that will drive the simulation, immediately before it starts.
+func (s *Session) RunTracedWith(bench string, k Knobs, tr *obs.Trace, onSys func(*sim.System)) (Result, error) {
 	s.mu.Lock()
 	s.stats.Misses++
 	s.stats.Traced++
 	s.mu.Unlock()
-	r, err := runLive(bench, k, tr, s.Verify, s.OnSystem)
+	r, err := runLive(bench, k, tr, s.Verify, onSys)
 	if err != nil {
 		return Result{}, err
 	}

@@ -130,7 +130,11 @@ func TestStoreRoundTrip(t *testing.T) {
 		t.Fatal("different key hit the same record")
 	}
 	// A store opened under a different program version must not see it.
-	other := &Store{dir: dir, salt: "different-version"}
+	other, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other.salt = "different-version"
 	if _, ok := other.Load(key); ok {
 		t.Fatal("record reused across version salts")
 	}

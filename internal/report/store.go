@@ -1,6 +1,7 @@
 package report
 
 import (
+	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -9,6 +10,8 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/debug"
+	"sync"
+	"sync/atomic"
 )
 
 // storeSchema versions the record layout; bump it whenever Result or the
@@ -18,13 +21,35 @@ import (
 // stall taxonomy (TickCycles + eight exclusive buckets).
 // v4: wpu.Stats gained the static access-class concordance counters
 // (MemClassAccesses/MemClassTransactions/MemDivHintSkips/MemBoundExceeded).
-const storeSchema = "dwsim-store-v4"
+// v5: records moved from a flat directory into per-shard subdirectories
+// (two hex digits of the digest), so a v4 store's files are unreachable.
+const storeSchema = "dwsim-store-v5"
+
+// DefaultStoreShards is the shard count OpenStore selects: enough that
+// sixteen-odd concurrent clients rarely collide on one lock, few enough
+// that the directory fan-out stays readable.
+const DefaultStoreShards = 16
 
 // Store is a persistent, cross-process result cache: one JSON record per
 // simulated point, named by a digest of the cache key plus a version salt
 // (schema, Go version, and VCS state of the binary). Reads of records
 // written under a different salt miss; writes are atomic (temp file +
 // rename), so concurrent processes sharing a directory are safe.
+//
+// The directory is sharded by the first byte of the digest, and each
+// shard carries its own lock, in-memory index, and LRU list, so many
+// concurrent clients (the dwsimd server pools dozens) contend on a
+// sixteenth of a lock each instead of serializing on one mutex. With a
+// byte-size cap set (OpenStoreWith), each shard evicts
+// least-recently-used records past its share of the cap; recency is a
+// logical clock (the LRU list order), never wall time, so eviction
+// decisions are reproducible for a given operation sequence.
+//
+// The in-memory index is a cache of the directory, not the truth: a Load
+// for a key the index has not seen still goes to the filesystem, and an
+// indexed file deleted by another process (its eviction) degrades to a
+// miss. That keeps multiple Store instances — separate processes — safe
+// on one cache dir.
 //
 // The salt cannot see uncommitted source edits when the binary carries no
 // VCS stamp (as with `go run` or test binaries): after changing simulator
@@ -36,8 +61,53 @@ const storeSchema = "dwsim-store-v4"
 // skips Load entirely and always simulates live — but it still Saves the
 // fresh Result, so a traced run warms the store for later untraced use.
 type Store struct {
-	dir  string
-	salt string
+	dir      string
+	salt     string
+	maxBytes int64 // whole-store LRU cap; 0 = unbounded
+	shards   []storeShard
+
+	hits, misses, saves, evictions, evictedBytes atomic.Uint64
+}
+
+// StoreOptions configures OpenStoreWith beyond the defaults.
+type StoreOptions struct {
+	// MaxBytes caps the store's on-disk footprint; past it, each shard
+	// evicts its least-recently-used records. 0 means unbounded.
+	MaxBytes int64
+	// Shards is the lock/directory fan-out (0 = DefaultStoreShards; 1
+	// degenerates to a single-mutex store, kept selectable for the
+	// BenchmarkStoreShardedParallel comparison).
+	Shards int
+}
+
+// StoreStats is a snapshot of the store's counters, aggregated across
+// shards.
+type StoreStats struct {
+	Hits         uint64 `json:"hits"`
+	Misses       uint64 `json:"misses"`
+	Saves        uint64 `json:"saves"`
+	Evictions    uint64 `json:"evictions"`
+	EvictedBytes uint64 `json:"evicted_bytes"`
+	BytesInUse   int64  `json:"bytes_in_use"`
+	Records      int    `json:"records"`
+	Shards       int    `json:"shards"`
+	MaxBytes     int64  `json:"max_bytes"`
+}
+
+// storeShard is one lock domain: a subdirectory of the store plus the
+// index and LRU order of the records inside it.
+type storeShard struct {
+	mu      sync.Mutex
+	dir     string
+	entries map[string]*list.Element // digest -> *storeEntry element
+	lru     *list.List               // front = most recently used
+	bytes   int64
+}
+
+// storeEntry is one indexed record file.
+type storeEntry struct {
+	digest string
+	size   int64
 }
 
 // DefaultCacheDir returns the per-user cache location (~/.cache/dwsim on
@@ -49,16 +119,77 @@ func DefaultCacheDir() string {
 	return filepath.Join(os.TempDir(), "dwsim-cache")
 }
 
-// OpenStore opens (creating if needed) a result store rooted at dir;
-// dir == "" means DefaultCacheDir().
+// OpenStore opens (creating if needed) a result store rooted at dir with
+// the default shard count and no size cap; dir == "" means
+// DefaultCacheDir().
 func OpenStore(dir string) (*Store, error) {
+	return OpenStoreWith(dir, StoreOptions{})
+}
+
+// OpenStoreWith opens a result store with explicit sharding and LRU
+// options. Existing records in the shard directories are indexed up
+// front (in file-name order, a deterministic stand-in for their unknown
+// access history) so the size cap covers records from earlier processes.
+func OpenStoreWith(dir string, opt StoreOptions) (*Store, error) {
 	if dir == "" {
 		dir = DefaultCacheDir()
+	}
+	shards := opt.Shards
+	if shards <= 0 {
+		shards = DefaultStoreShards
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("report: open store: %w", err)
 	}
-	return &Store{dir: dir, salt: versionSalt()}, nil
+	st := &Store{dir: dir, salt: versionSalt(), maxBytes: opt.MaxBytes,
+		shards: make([]storeShard, shards)}
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.dir = dir
+		sh.entries = make(map[string]*list.Element)
+		sh.lru = list.New()
+	}
+	// Index whatever is already on disk. Shard subdirectories are named by
+	// the first digest byte, so every record's shard is recoverable from
+	// its path regardless of the shard count that wrote it.
+	subdirs, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("report: open store: %w", err)
+	}
+	for _, sd := range subdirs {
+		if !sd.IsDir() || len(sd.Name()) != 2 {
+			continue
+		}
+		prefix, err := hex.DecodeString(sd.Name())
+		if err != nil {
+			continue
+		}
+		sh := &st.shards[int(prefix[0])%shards]
+		files, err := os.ReadDir(filepath.Join(dir, sd.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files { // ReadDir sorts by name: deterministic seed order
+			name := f.Name()
+			if f.IsDir() || filepath.Ext(name) != ".json" {
+				continue
+			}
+			info, err := f.Info()
+			if err != nil {
+				continue
+			}
+			sh.index(name[:len(name)-len(".json")], info.Size())
+		}
+	}
+	if st.maxBytes > 0 {
+		for i := range st.shards {
+			sh := &st.shards[i]
+			sh.mu.Lock()
+			st.evictLocked(sh)
+			sh.mu.Unlock()
+		}
+	}
+	return st, nil
 }
 
 // versionSalt digests everything known about the program version so
@@ -87,33 +218,108 @@ type record struct {
 	Result Result `json:"result"`
 }
 
-func (st *Store) path(key string) string {
+// digest names the record file for a key under the current salt.
+func (st *Store) digest(key string) string {
 	d := sha256.Sum256([]byte(st.salt + "\n" + key))
-	return filepath.Join(st.dir, hex.EncodeToString(d[:16])+".json")
+	return hex.EncodeToString(d[:16])
+}
+
+// shardOf routes a digest to its lock domain: the first digest byte mod
+// the shard count, so the on-disk layout (two hex digits) is independent
+// of how many locks this process runs with.
+func (st *Store) shardOf(digest string) *storeShard {
+	b, _ := hex.DecodeString(digest[:2])
+	return &st.shards[int(b[0])%len(st.shards)]
+}
+
+// path places a record file inside its two-hex-digit shard directory.
+func (st *Store) path(digest string) string {
+	return filepath.Join(st.dir, digest[:2], digest+".json")
+}
+
+// index adds or refreshes one entry (shard lock must be held, except
+// during single-threaded Open).
+func (sh *storeShard) index(digest string, size int64) {
+	if el, ok := sh.entries[digest]; ok {
+		sh.bytes += size - el.Value.(*storeEntry).size
+		el.Value.(*storeEntry).size = size
+		sh.lru.MoveToFront(el)
+		return
+	}
+	sh.entries[digest] = sh.lru.PushFront(&storeEntry{digest: digest, size: size})
+	sh.bytes += size
+}
+
+// drop removes one entry from the index (shard lock held).
+func (sh *storeShard) drop(digest string) {
+	if el, ok := sh.entries[digest]; ok {
+		sh.bytes -= el.Value.(*storeEntry).size
+		sh.lru.Remove(el)
+		delete(sh.entries, digest)
+	}
+}
+
+// evictLocked deletes least-recently-used records until the shard is back
+// under its share of the byte cap (shard lock held).
+func (st *Store) evictLocked(sh *storeShard) {
+	if st.maxBytes <= 0 {
+		return
+	}
+	perShard := st.maxBytes / int64(len(st.shards))
+	for sh.bytes > perShard && sh.lru.Len() > 0 {
+		el := sh.lru.Back()
+		e := el.Value.(*storeEntry)
+		os.Remove(st.path(e.digest)) // best-effort; another process may have won
+		sh.bytes -= e.size
+		sh.lru.Remove(el)
+		delete(sh.entries, e.digest)
+		st.evictions.Add(1)
+		st.evictedBytes.Add(uint64(e.size))
+	}
 }
 
 // Load returns the stored Result for key, if a matching record exists.
+// The read happens under the shard lock, so index recency and the bytes
+// accounting stay consistent with the filesystem operations they mirror.
 func (st *Store) Load(key string) (Result, bool) {
-	b, err := os.ReadFile(st.path(key))
+	digest := st.digest(key)
+	sh := st.shardOf(digest)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	b, err := os.ReadFile(st.path(digest))
 	if err != nil {
+		sh.drop(digest) // evicted or removed by another process
+		st.misses.Add(1)
 		return Result{}, false
 	}
 	var rec record
 	if json.Unmarshal(b, &rec) != nil || rec.Key != key || rec.Salt != st.salt {
+		st.misses.Add(1)
 		return Result{}, false
 	}
+	sh.index(digest, int64(len(b))) // refresh recency; adopt foreign writes
+	st.hits.Add(1)
 	return rec.Result, true
 }
 
-// Save persists one result. Failures are reported but deliberately
-// non-fatal to callers like Session.simulate: a broken cache directory
-// must never fail a simulation that already succeeded.
+// Save persists one result and evicts past the size cap. Failures are
+// reported but deliberately non-fatal to callers like Session.simulate: a
+// broken cache directory must never fail a simulation that already
+// succeeded.
 func (st *Store) Save(key string, r Result) error {
 	b, err := json.Marshal(record{Key: key, Salt: st.salt, Result: r})
 	if err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(st.dir, ".tmp-*")
+	digest := st.digest(key)
+	sh := st.shardOf(digest)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	shardDir := filepath.Join(st.dir, digest[:2])
+	if err := os.MkdirAll(shardDir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(shardDir, ".tmp-*")
 	if err != nil {
 		return err
 	}
@@ -126,9 +332,35 @@ func (st *Store) Save(key string, r Result) error {
 		os.Remove(tmp.Name())
 		return err
 	}
-	if err := os.Rename(tmp.Name(), st.path(key)); err != nil {
+	if err := os.Rename(tmp.Name(), st.path(digest)); err != nil {
 		os.Remove(tmp.Name())
 		return err
 	}
+	sh.index(digest, int64(len(b)))
+	st.saves.Add(1)
+	st.evictLocked(sh)
 	return nil
+}
+
+// Stats aggregates the counters across shards. The per-shard walk takes
+// each lock briefly, so the byte/record totals are a consistent-per-shard
+// snapshot, not a global one — fine for monitoring.
+func (st *Store) Stats() StoreStats {
+	s := StoreStats{
+		Hits:         st.hits.Load(),
+		Misses:       st.misses.Load(),
+		Saves:        st.saves.Load(),
+		Evictions:    st.evictions.Load(),
+		EvictedBytes: st.evictedBytes.Load(),
+		Shards:       len(st.shards),
+		MaxBytes:     st.maxBytes,
+	}
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		s.BytesInUse += sh.bytes
+		s.Records += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return s
 }

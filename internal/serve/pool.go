@@ -1,0 +1,47 @@
+package serve
+
+import "sync"
+
+// pool is the daemon's bounded job executor: n long-lived workers
+// draining one submission-ordered feed. It is the only place in this
+// package that launches goroutines (dwslint's goroutine check approves
+// exactly this file alongside the report.Session worker pool) — HTTP
+// handler concurrency belongs to net/http, and streaming subscribers ride
+// their handler goroutines (see stream.go).
+//
+// Simulation-level parallelism inside one sweep job still comes from
+// Session.Prefetch; the pool bounds how many *jobs* make progress at
+// once, so one giant sweep cannot starve interactive single runs for
+// longer than its own prefetch batch.
+type pool struct {
+	feed chan *job
+	wg   sync.WaitGroup
+}
+
+// startPool launches n workers applying run to each job in feed order.
+func startPool(n int, run func(*job)) *pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &pool{feed: make(chan *job, 64)}
+	for i := 0; i < n; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for j := range p.feed {
+				run(j)
+			}
+		}()
+	}
+	return p
+}
+
+// submit enqueues a job; it blocks only when the backlog buffer is full,
+// which bounds the daemon's accepted-but-unstarted work.
+func (p *pool) submit(j *job) { p.feed <- j }
+
+// close drains the feed and waits for in-flight jobs to finish.
+func (p *pool) close() {
+	close(p.feed)
+	p.wg.Wait()
+}

@@ -1,0 +1,357 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/report"
+)
+
+// testServer assembles a started Server over a fresh Session (optionally
+// store-backed) and an httptest front end, torn down with the test.
+func testServer(t *testing.T, workers int, withStore bool) (*Server, *report.Session, *httptest.Server) {
+	t.Helper()
+	opts := []report.Option{report.WithJobs(workers)}
+	var st *report.Store
+	if withStore {
+		var err error
+		st, err = report.OpenStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts = append(opts, report.WithStore(st))
+	}
+	session := report.NewSession(opts...)
+	srv := New(Config{Session: session, Store: st, Workers: workers})
+	srv.Start()
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, session, ts
+}
+
+func postJob(t *testing.T, ts *httptest.Server, body string) (JobDoc, *http.Response) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc JobDoc
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatalf("decoding job doc: %v", err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	}
+	return doc, resp
+}
+
+func getJob(t *testing.T, ts *httptest.Server, id string) JobDoc {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/jobs/%s: status %d", id, resp.StatusCode)
+	}
+	var doc JobDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// waitJob polls the lifecycle endpoint until the job leaves the
+// queued/running states, exactly as an HTTP client would.
+func waitJob(t *testing.T, ts *httptest.Server, id string) JobDoc {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		doc := getJob(t, ts, id)
+		if doc.Status == StatusDone || doc.Status == StatusFailed {
+			return doc
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in status %q", id, doc.Status)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func fetchResult(t *testing.T, ts *httptest.Server, key string) ([]byte, int) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/results/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, resp.StatusCode
+}
+
+const runFilterBody = `{"schema_version":1,"bench":"Filter","knobs":{"scheme":"DWS.ReviveSplit"}}`
+
+// TestSubmitPollFetch is the core e2e contract: submit → poll → fetch
+// returns byte-for-byte what a direct Session.Run of the same point
+// renders, through a completely separate session in this process.
+func TestSubmitPollFetch(t *testing.T) {
+	_, _, ts := testServer(t, 2, true)
+
+	doc, resp := postJob(t, ts, runFilterBody)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	if doc.ID != "j001" || doc.Kind != "run" || len(doc.Points) != 1 {
+		t.Fatalf("submit echo: %+v", doc)
+	}
+
+	done := waitJob(t, ts, doc.ID)
+	if done.Status != StatusDone || done.Points[0].Status != StatusDone {
+		t.Fatalf("job finished as %+v", done)
+	}
+
+	got, status := fetchResult(t, ts, done.Points[0].ResultKey)
+	if status != http.StatusOK {
+		t.Fatalf("fetch result: status %d", status)
+	}
+
+	// The reference rendering: a direct run on an unrelated session.
+	knobs := WireKnobs{Scheme: "DWS.ReviveSplit"}.Knobs()
+	if ResultKey("Filter", knobs) != done.Points[0].ResultKey {
+		t.Fatalf("server derived result key %s, client derives %s", done.Points[0].ResultKey, ResultKey("Filter", knobs))
+	}
+	direct := report.NewSession()
+	r, err := direct.Run("Filter", knobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := RenderResultDoc(r, knobs)
+	if !bytes.Equal(got, want) {
+		t.Errorf("served result differs from direct Session.Run rendering:\n--- served ---\n%s\n--- direct ---\n%s", got, want)
+	}
+}
+
+// TestDuplicateSubmissionsSingleflight submits the same point from many
+// concurrent clients: exactly one simulation runs (the session counts
+// misses), every job completes, and every fetch returns identical bytes.
+func TestDuplicateSubmissionsSingleflight(t *testing.T) {
+	const clients = 8
+	_, session, ts := testServer(t, 4, false)
+
+	var wg sync.WaitGroup
+	ids := make([]string, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(runFilterBody))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			var doc JobDoc
+			if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+				t.Error(err)
+				return
+			}
+			ids[i] = doc.ID
+		}(i)
+	}
+	wg.Wait()
+
+	var first []byte
+	for _, id := range ids {
+		if id == "" {
+			t.Fatal("a submission failed")
+		}
+		doc := waitJob(t, ts, id)
+		if doc.Status != StatusDone {
+			t.Fatalf("job %s: %+v", id, doc)
+		}
+		b, status := fetchResult(t, ts, doc.Points[0].ResultKey)
+		if status != http.StatusOK {
+			t.Fatalf("job %s result fetch: status %d", id, status)
+		}
+		if first == nil {
+			first = b
+		} else if !bytes.Equal(first, b) {
+			t.Fatalf("job %s fetched different bytes than its duplicates", id)
+		}
+	}
+
+	cs := session.Stats()
+	if cs.Misses != 1 {
+		t.Errorf("%d duplicate submissions ran %d simulations, want exactly 1 (stats %+v)", clients, cs.Misses, cs)
+	}
+	if cs.MemHits != clients-1 {
+		t.Errorf("MemHits = %d, want %d (every duplicate served from the singleflight cache)", cs.MemHits, clients-1)
+	}
+}
+
+// TestSweepJob submits a benches × schemes sweep and checks every point
+// completes with its own result.
+func TestSweepJob(t *testing.T) {
+	_, _, ts := testServer(t, 2, false)
+	doc, resp := postJob(t, ts,
+		`{"schema_version":1,"kind":"sweep","benches":["Filter"],"schemes":["Conv","DWS.ReviveSplit"]}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	if doc.Kind != "sweep" || len(doc.Points) != 2 {
+		t.Fatalf("submit echo: %+v", doc)
+	}
+	done := waitJob(t, ts, doc.ID)
+	keys := map[string]bool{}
+	for _, p := range done.Points {
+		if p.Status != StatusDone {
+			t.Fatalf("point %+v not done (job %+v)", p, done)
+		}
+		keys[p.ResultKey] = true
+		if _, status := fetchResult(t, ts, p.ResultKey); status != http.StatusOK {
+			t.Errorf("point %s/%s: result fetch status %d", p.Bench, p.Scheme, status)
+		}
+	}
+	if len(keys) != 2 {
+		t.Errorf("sweep points share result keys: %+v", done.Points)
+	}
+}
+
+// TestResultPendingVsUnknown distinguishes the three fetch outcomes using
+// a server whose workers were never started: submitted keys are pending,
+// unnamed keys are unknown.
+func TestResultPendingVsUnknown(t *testing.T) {
+	session := report.NewSession()
+	srv := New(Config{Session: session}) // no Start: jobs stay queued
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	doc, resp := postJob(t, ts, runFilterBody)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	if doc.Status != StatusQueued {
+		t.Fatalf("cold server job status %q, want queued", doc.Status)
+	}
+
+	b, status := fetchResult(t, ts, doc.Points[0].ResultKey)
+	if status != http.StatusNotFound || !bytes.Contains(b, []byte(`"pending"`)) {
+		t.Errorf("pending key: status %d body %s, want 404 with a pending marker", status, b)
+	}
+	b, status = fetchResult(t, ts, strings.Repeat("0", 32))
+	if status != http.StatusNotFound || bytes.Contains(b, []byte(`"pending"`)) {
+		t.Errorf("unknown key: status %d body %s, want plain 404", status, b)
+	}
+}
+
+func TestJobEndpointsErrors(t *testing.T) {
+	_, _, ts := testServer(t, 1, false)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/j999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+
+	// Stream of an untraced job is a 409: the trace was never recorded.
+	doc, _ := postJob(t, ts, runFilterBody)
+	waitJob(t, ts, doc.ID)
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + doc.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("stream of untraced job: status %d, want 409", resp.StatusCode)
+	}
+
+	// Oversized body: the handler's MaxBytesReader maps it to 413.
+	huge := fmt.Sprintf(`{"schema_version":1,"bench":%q,"knobs":{"scheme":"Conv"}}`, strings.Repeat("a", maxJobBody))
+	_, resp = postJob(t, ts, huge)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestJobList checks GET /v1/jobs preserves submission order.
+func TestJobList(t *testing.T) {
+	_, _, ts := testServer(t, 1, false)
+	a, _ := postJob(t, ts, runFilterBody)
+	b, _ := postJob(t, ts, `{"schema_version":1,"bench":"Filter","knobs":{"scheme":"Conv"}}`)
+	waitJob(t, ts, a.ID)
+	waitJob(t, ts, b.ID)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var docs []JobDoc
+	if err := json.NewDecoder(resp.Body).Decode(&docs); err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 2 || docs[0].ID != a.ID || docs[1].ID != b.ID {
+		t.Errorf("job list %+v, want [%s %s] in submission order", docs, a.ID, b.ID)
+	}
+}
+
+// TestMetricsEndpoint checks the daemon counters surface after a run,
+// including the sharded-store series.
+func TestMetricsEndpoint(t *testing.T) {
+	_, _, ts := testServer(t, 1, true)
+	doc, _ := postJob(t, ts, runFilterBody)
+	waitJob(t, ts, doc.ID)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`dwsimd_jobs{state="done"} 1`,
+		`dwsimd_session_requests_total{source="simulated"} 1`,
+		`dwsimd_store_ops_total{op="save"} 1`,
+		"dwsimd_store_records 1",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, _, ts := testServer(t, 1, false)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(b), `"ok"`) {
+		t.Errorf("healthz: status %d body %s", resp.StatusCode, b)
+	}
+}

@@ -1,0 +1,257 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/obs"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Session executes and deduplicates runs; required. The server takes
+	// over its OnSystem hook (for the live /metrics snapshot).
+	Session *report.Session
+	// Store is the session's sharded on-disk store, if any; the server
+	// only reads its Stats for /metrics.
+	Store *report.Store
+	// Workers bounds concurrent jobs (0 = Session.Jobs()).
+	Workers int
+	// StreamEvery is the default SSE publish cadence in simulated cycles
+	// for traced jobs (0 = 2048).
+	StreamEvery uint64
+}
+
+// Server is the simulation-as-a-service daemon: job submission, job
+// lifecycle, result fetch, live trace streaming, and Prometheus metrics,
+// all on one http.Handler. Construct with New, start the workers with
+// Start, and Close to drain.
+type Server struct {
+	session *report.Session
+	store   *report.Store
+	reg     *registry
+	pool    *pool
+	live    *sim.Live
+	workers int
+	every   uint64
+	mux     *http.ServeMux
+}
+
+// New assembles a Server (not yet executing jobs; call Start).
+func New(cfg Config) *Server {
+	s := &Server{
+		session: cfg.Session,
+		store:   cfg.Store,
+		reg:     newRegistry(),
+		live:    sim.NewLive(0),
+		workers: cfg.Workers,
+		every:   cfg.StreamEvery,
+		mux:     http.NewServeMux(),
+	}
+	if s.workers == 0 {
+		s.workers = cfg.Session.Jobs()
+	}
+	// Untraced runs publish into the shared live snapshot; traced runs get
+	// a per-job hook chained in runJob.
+	s.session.OnSystem = s.live.Attach
+
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"status\":\"ok\",\"schema_version\":%d}\n", WireSchemaVersion)
+	})
+	return s
+}
+
+// Start launches the worker pool. Separate from New so tests can submit
+// against a cold registry.
+func (s *Server) Start() { s.pool = startPool(s.workers, s.runJob) }
+
+// Close drains the job feed and waits for in-flight simulations.
+func (s *Server) Close() {
+	if s.pool != nil {
+		s.pool.close()
+	}
+}
+
+// Handler returns the daemon's HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// writeJSON renders one response document.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // best-effort: the peer may hang up
+}
+
+// writeError maps a *serve.Error onto the wire.
+func writeError(w http.ResponseWriter, e *Error) {
+	writeJSON(w, e.Status, map[string]string{"error": e.Msg})
+}
+
+// handleSubmit is POST /v1/jobs: decode, validate, register, enqueue.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, maxJobBody)
+	req, derr := DecodeJobRequest(body)
+	if derr != nil {
+		writeError(w, derr)
+		return
+	}
+	io.Copy(io.Discard, body) //nolint:errcheck // drain for keep-alive
+	j := s.reg.add(req)
+	if s.pool != nil { // before Start the job just sits queued
+		s.pool.submit(j)
+	}
+	writeJSON(w, http.StatusAccepted, s.reg.doc(j))
+}
+
+// handleList is GET /v1/jobs.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.list())
+}
+
+// handleJob is GET /v1/jobs/{id}.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, &Error{Status: http.StatusNotFound, Msg: "unknown job " + r.PathValue("id")})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.reg.doc(j))
+}
+
+// handleStream is GET /v1/jobs/{id}/stream: SSE replay of a traced job's
+// obs events and timeline samples.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, &Error{Status: http.StatusNotFound, Msg: "unknown job " + r.PathValue("id")})
+		return
+	}
+	if j.hub == nil {
+		writeError(w, &Error{Status: http.StatusConflict,
+			Msg: "job " + j.id + " was not submitted with \"trace\": true"})
+		return
+	}
+	serveStream(w, r, j.hub)
+}
+
+// handleResult is GET /v1/results/{key}: the canonical RunDoc bytes for a
+// completed point; 404 with a pending marker while a job still owes it.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	doc, ok, pending := s.reg.result(key)
+	if ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(doc) //nolint:errcheck // best-effort: the peer may hang up
+		return
+	}
+	if pending {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "result not ready", "status": "pending"})
+		return
+	}
+	writeError(w, &Error{Status: http.StatusNotFound, Msg: "unknown result key " + key})
+}
+
+// handleMetrics is GET /metrics: daemon counters (jobs, session cache,
+// store shards) followed by the live snapshot of whatever the simulator
+// is doing right now.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	counts := s.reg.counts()
+	fmt.Fprintf(w, "# HELP dwsimd_jobs Jobs by lifecycle state.\n# TYPE dwsimd_jobs gauge\n")
+	for _, st := range []string{StatusQueued, StatusRunning, StatusDone, StatusFailed} {
+		fmt.Fprintf(w, "dwsimd_jobs{state=%q} %d\n", st, counts[st])
+	}
+	cs := s.session.Stats()
+	fmt.Fprintf(w, "# HELP dwsimd_session_requests_total Session.Run requests by how they were satisfied.\n# TYPE dwsimd_session_requests_total counter\n")
+	fmt.Fprintf(w, "dwsimd_session_requests_total{source=\"mem\"} %d\n", cs.MemHits)
+	fmt.Fprintf(w, "dwsimd_session_requests_total{source=\"disk\"} %d\n", cs.DiskHits)
+	fmt.Fprintf(w, "dwsimd_session_requests_total{source=\"simulated\"} %d\n", cs.Misses)
+	if s.store != nil {
+		ss := s.store.Stats()
+		fmt.Fprintf(w, "# HELP dwsimd_store_ops_total Sharded result-store operations.\n# TYPE dwsimd_store_ops_total counter\n")
+		fmt.Fprintf(w, "dwsimd_store_ops_total{op=\"hit\"} %d\n", ss.Hits)
+		fmt.Fprintf(w, "dwsimd_store_ops_total{op=\"miss\"} %d\n", ss.Misses)
+		fmt.Fprintf(w, "dwsimd_store_ops_total{op=\"save\"} %d\n", ss.Saves)
+		fmt.Fprintf(w, "# HELP dwsimd_store_evictions_total Records evicted by the LRU byte cap.\n# TYPE dwsimd_store_evictions_total counter\n")
+		fmt.Fprintf(w, "dwsimd_store_evictions_total %d\n", ss.Evictions)
+		fmt.Fprintf(w, "# HELP dwsimd_store_evicted_bytes_total Bytes reclaimed by eviction.\n# TYPE dwsimd_store_evicted_bytes_total counter\n")
+		fmt.Fprintf(w, "dwsimd_store_evicted_bytes_total %d\n", ss.EvictedBytes)
+		fmt.Fprintf(w, "# HELP dwsimd_store_bytes_in_use On-disk footprint of the store.\n# TYPE dwsimd_store_bytes_in_use gauge\n")
+		fmt.Fprintf(w, "dwsimd_store_bytes_in_use %d\n", ss.BytesInUse)
+		fmt.Fprintf(w, "# HELP dwsimd_store_records Records indexed across %d shards.\n# TYPE dwsimd_store_records gauge\n", ss.Shards)
+		fmt.Fprintf(w, "dwsimd_store_records %d\n", ss.Records)
+	}
+	s.live.WriteMetrics(w)
+}
+
+// runJob executes one job on a pool worker.
+func (s *Server) runJob(j *job) {
+	s.reg.setRunning(j)
+	if j.hub != nil {
+		s.runTracedJob(j)
+		return
+	}
+	// Sweeps fan out over the session's Prefetch pool first, so the points
+	// simulate in parallel and the collection loop below reads warm cache.
+	if len(j.points) > 1 {
+		jobs := make([]report.Job, len(j.points))
+		for i, p := range j.points {
+			jobs[i] = report.Job{Bench: p.bench, Knobs: p.knobs}
+		}
+		if err := s.session.Prefetch(jobs); err != nil {
+			s.reg.finish(j, err.Error())
+			return
+		}
+	}
+	for i := range j.points {
+		p := &j.points[i]
+		s.live.SetMeta(p.bench, string(p.knobs.Scheme))
+		r, err := s.session.Run(p.bench, p.knobs)
+		if err != nil {
+			s.reg.finish(j, err.Error())
+			return
+		}
+		s.reg.completePoint(j, i, RenderResultDoc(r, p.knobs))
+	}
+	s.reg.finish(j, "")
+}
+
+// runTracedJob executes a single-point traced job, streaming the trace
+// through the job's hub while the machine runs.
+func (s *Server) runTracedJob(j *job) {
+	p := &j.points[0]
+	every := j.req.TraceEvery
+	if every == 0 {
+		every = 1000 // the dwsim -obsevery default
+	}
+	tr := obs.New(every)
+	pub := &publisher{hub: j.hub, tr: tr}
+	streamEvery := s.every
+	s.live.SetMeta(p.bench, string(p.knobs.Scheme))
+	r, err := s.session.RunTracedWith(p.bench, p.knobs, tr, func(sys *sim.System) {
+		s.live.Attach(sys)
+		pub.attach(sys, streamEvery)
+	})
+	if err != nil {
+		pub.finishError(err.Error())
+		s.reg.finish(j, err.Error())
+		return
+	}
+	doc := RenderResultDoc(r, p.knobs)
+	s.reg.completePoint(j, 0, doc)
+	s.reg.finish(j, "")
+	pub.finishSuccess(doc)
+}

@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Live trace streaming. A traced job gets a streamHub: the simulation
+// goroutine publishes frames into it from inside the System's per-cycle
+// Tracer hook, and any number of SSE clients replay the frame log from
+// the start. The design deliberately has no per-subscriber goroutines and
+// no per-subscriber channels:
+//
+//   - The publisher appends pre-rendered frames under a mutex and closes
+//     a broadcast channel; it can never block on a slow client, so a
+//     stalled curl cannot stall the machine.
+//   - A subscriber is just the net/http handler goroutine reading the
+//     frame log by index and waiting on the broadcast channel or its own
+//     request context — on disconnect it simply returns, so there is
+//     nothing to leak (TestStreamDisconnect pins the goroutine count).
+//   - Because frames are replayed from index zero, a late subscriber sees
+//     the identical sequence an early one does, which is what makes the
+//     SSE stream comparable byte-for-byte with an offline dwstrace run of
+//     the same point (TestStreamMatchesOfflineTrace).
+//
+// Frame log growth is bounded by the same thing that bounds an offline
+// obs.Trace of the run: one frame per event/sample.
+
+// frame is one server-sent event, pre-rendered once for all subscribers.
+type frame struct {
+	event string // SSE event name: "obs", "sample", or "done"
+	data  []byte // one-line JSON payload
+}
+
+// streamHub is the per-job frame log plus its broadcast signal.
+type streamHub struct {
+	mu     sync.Mutex
+	frames []frame
+	done   bool
+	notify chan struct{} // closed and replaced on every publish
+}
+
+func newStreamHub() *streamHub {
+	return &streamHub{notify: make(chan struct{})}
+}
+
+// publish appends frames and wakes every waiting subscriber; final
+// publishes mark the log complete.
+func (h *streamHub) publish(fs []frame, final bool) {
+	if len(fs) == 0 && !final {
+		return
+	}
+	h.mu.Lock()
+	h.frames = append(h.frames, fs...)
+	if final {
+		h.done = true
+	}
+	close(h.notify)
+	h.notify = make(chan struct{})
+	h.mu.Unlock()
+}
+
+// snapshot returns the frames past `from` plus completion state and the
+// channel that will signal the next publish.
+func (h *streamHub) snapshot(from int) (fs []frame, done bool, notify <-chan struct{}) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.frames[from:len(h.frames):len(h.frames)], h.done, h.notify
+}
+
+// publisher incrementally renders a trace into hub frames. It runs
+// entirely on the simulation goroutine (Tracer hook + final flush), so
+// reading the still-filling obs.Trace is race-free by construction.
+type publisher struct {
+	hub    *streamHub
+	tr     *obs.Trace
+	nextEv int
+	nextSa int
+}
+
+// flush renders everything newly appended to the trace. Events and
+// samples are interleaved in cycle order — the same order an offline
+// export walks them — with ties broken events-first (a sample at cycle c
+// summarizes the interval ending at c, after its events).
+func (p *publisher) flush(final bool) {
+	var fs []frame
+	evs, sas := p.tr.Events[p.nextEv:], p.tr.Samples[p.nextSa:]
+	for len(evs) > 0 || len(sas) > 0 {
+		if len(sas) == 0 || (len(evs) > 0 && evs[0].Cycle <= sas[0].Cycle) {
+			fs = append(fs, frame{event: "obs", data: mustJSON(evs[0])})
+			evs = evs[1:]
+		} else {
+			fs = append(fs, frame{event: "sample", data: mustJSON(sas[0])})
+			sas = sas[1:]
+		}
+	}
+	p.nextEv = len(p.tr.Events)
+	p.nextSa = len(p.tr.Samples)
+	p.hub.publish(fs, final)
+}
+
+// attach chains the publisher onto the machine's per-cycle Tracer so
+// frames flow while the run is in flight, not only at the end. every is
+// the publish cadence in cycles.
+func (p *publisher) attach(sys *sim.System, every uint64) {
+	if every == 0 {
+		every = 2048
+	}
+	prev := sys.Tracer
+	sys.Tracer = func(cycle uint64) {
+		if prev != nil {
+			prev(cycle)
+		}
+		if cycle%every == 0 {
+			p.flush(false)
+		}
+	}
+}
+
+// finishSuccess publishes the trace tail and the terminal done frame
+// carrying the canonical result document. The document renders indented
+// for /v1/results; SSE payloads must be one line, so it is compacted here.
+func (p *publisher) finishSuccess(doc []byte) {
+	p.flush(false)
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, doc); err != nil {
+		panic(fmt.Sprintf("serve: compact result doc: %v", err))
+	}
+	p.hub.publish([]frame{{event: "done", data: buf.Bytes()}}, true)
+}
+
+// finishError publishes a terminal error frame.
+func (p *publisher) finishError(msg string) {
+	p.hub.publish([]frame{{event: "done", data: mustJSON(map[string]string{"status": StatusFailed, "error": msg})}}, true)
+}
+
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("serve: marshal stream frame: %v", err))
+	}
+	return b
+}
+
+// serveStream writes the job's frame log as Server-Sent Events until the
+// log completes or the client goes away.
+func serveStream(w http.ResponseWriter, r *http.Request, h *streamHub) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported by this connection", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	next := 0
+	for {
+		fs, done, notify := h.snapshot(next)
+		for _, f := range fs {
+			if err := writeSSE(w, f); err != nil {
+				return // client hung up mid-write
+			}
+		}
+		if len(fs) > 0 {
+			fl.Flush()
+		}
+		next += len(fs)
+		if done {
+			return
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE renders one frame in the SSE wire format. Payloads are
+// single-line JSON, so one data: line suffices.
+func writeSSE(w io.Writer, f frame) error {
+	_, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", f.event, f.data)
+	return err
+}

@@ -1,0 +1,257 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/report"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// sseFrame is one parsed server-sent event.
+type sseFrame struct {
+	Event string
+	Data  string
+}
+
+// readSSE consumes a text/event-stream body into frames, stopping after
+// the terminal "done" frame (or when the stream ends).
+func readSSE(t *testing.T, body *bufio.Scanner) []sseFrame {
+	t.Helper()
+	var frames []sseFrame
+	var cur sseFrame
+	for body.Scan() {
+		line := body.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.Event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.Data = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			if cur.Event != "" {
+				frames = append(frames, cur)
+				if cur.Event == "done" {
+					return frames
+				}
+				cur = sseFrame{}
+			}
+		default:
+			t.Fatalf("unexpected SSE line %q", line)
+		}
+	}
+	return frames
+}
+
+// streamJob opens the job's SSE endpoint and reads it to completion.
+func streamJob(t *testing.T, ts *httptest.Server, id string) []sseFrame {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	return readSSE(t, bufio.NewScanner(resp.Body))
+}
+
+const tracedFilterBody = `{"schema_version":1,"bench":"Filter","knobs":{"scheme":"DWS.ReviveSplit"},"trace":true,"trace_every":500}`
+
+// TestStreamMatchesOfflineTrace is the streaming-equivalence contract: a
+// traced run streamed over SSE delivers exactly the events and timeline
+// samples an offline RunTraced of the same point records — same content,
+// same order — and a subscriber connecting after completion replays the
+// identical sequence a live one saw. A prefix of the event frames is
+// golden-pinned (testdata/stream_filter_prefix.golden, -update to
+// rewrite) so the wire rendering cannot drift silently.
+func TestStreamMatchesOfflineTrace(t *testing.T) {
+	srv, _, ts := testServer(t, 2, false)
+	srv.every = 256 // publish often enough that frames flow mid-run
+
+	doc, resp := postJob(t, ts, tracedFilterBody)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	if doc.StreamURL == "" {
+		t.Fatalf("traced job doc has no stream_url: %+v", doc)
+	}
+
+	// Live subscriber: attached while the simulation is (typically) still
+	// running; replay-from-zero makes the race benign.
+	live := streamJob(t, ts, doc.ID)
+	// Late subscriber: attached strictly after completion.
+	waitJob(t, ts, doc.ID)
+	replay := streamJob(t, ts, doc.ID)
+
+	if len(live) == 0 || live[len(live)-1].Event != "done" {
+		t.Fatalf("live stream did not terminate with a done frame: %d frames", len(live))
+	}
+	if len(replay) != len(live) {
+		t.Fatalf("late subscriber saw %d frames, live saw %d", len(replay), len(live))
+	}
+	for i := range live {
+		if live[i] != replay[i] {
+			t.Fatalf("frame %d differs between live and late subscribers:\n  live   %+v\n  replay %+v", i, live[i], replay[i])
+		}
+	}
+
+	// The offline equivalent: same point, same sampling interval, fresh
+	// session, no server anywhere near it.
+	knobs := WireKnobs{Scheme: "DWS.ReviveSplit"}.Knobs()
+	tr := obs.New(500)
+	direct := report.NewSession()
+	r, err := direct.RunTraced("Filter", knobs, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var evFrames, saFrames []string
+	for _, f := range live[:len(live)-1] {
+		switch f.Event {
+		case "obs":
+			evFrames = append(evFrames, f.Data)
+		case "sample":
+			saFrames = append(saFrames, f.Data)
+		default:
+			t.Fatalf("unexpected frame event %q", f.Event)
+		}
+	}
+	if len(evFrames) != len(tr.Events) {
+		t.Fatalf("streamed %d events, offline trace has %d", len(evFrames), len(tr.Events))
+	}
+	for i, e := range tr.Events {
+		if want := string(mustJSON(e)); evFrames[i] != want {
+			t.Fatalf("event %d: streamed %s, offline %s", i, evFrames[i], want)
+		}
+	}
+	if len(saFrames) != len(tr.Samples) {
+		t.Fatalf("streamed %d samples, offline trace has %d", len(saFrames), len(tr.Samples))
+	}
+	for i, s := range tr.Samples {
+		if want := string(mustJSON(s)); saFrames[i] != want {
+			t.Fatalf("sample %d: streamed %s, offline %s", i, saFrames[i], want)
+		}
+	}
+
+	// The terminal done frame carries the canonical result document,
+	// compacted to one SSE line.
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, RenderResultDoc(r, knobs)); err != nil {
+		t.Fatal(err)
+	}
+	if got := live[len(live)-1].Data; got != compact.String() {
+		t.Errorf("done frame differs from the canonical result doc:\n%s\nvs\n%s", got, compact.String())
+	}
+
+	// Golden prefix: the first event frames, pinned byte-for-byte.
+	const prefixN = 10
+	n := prefixN
+	if len(evFrames) < n {
+		n = len(evFrames)
+	}
+	golden := filepath.Join("testdata", "stream_filter_prefix.golden")
+	gotPrefix := strings.Join(evFrames[:n], "\n") + "\n"
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(gotPrefix), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if gotPrefix != string(want) {
+		t.Errorf("streamed event prefix drifted from %s:\n--- got ---\n%s--- want ---\n%s(run with -update to accept)", golden, gotPrefix, want)
+	}
+}
+
+// TestStreamDisconnect hangs up mid-stream and checks the two promised
+// non-effects: no goroutine outlives the subscriber, and the job's cached
+// result is exactly what an undisturbed run produces.
+func TestStreamDisconnect(t *testing.T) {
+	_, _, ts := testServer(t, 1, false)
+
+	g0 := runtime.NumGoroutine()
+
+	doc, resp := postJob(t, ts, tracedFilterBody)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+
+	// Subscribe on a cancellable connection and hang up after the first
+	// frame (or immediately, if the run outpaced us — the guarantees under
+	// test hold either way).
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+"/v1/jobs/"+doc.ID+"/stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &http.Transport{}
+	client := &http.Client{Transport: tr}
+	sresp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	sresp.Body.Read(buf) //nolint:errcheck // any bytes (or none) will do
+	cancel()
+	sresp.Body.Close()
+	tr.CloseIdleConnections()
+
+	done := waitJob(t, ts, doc.ID)
+	if done.Status != StatusDone {
+		t.Fatalf("job after disconnect: %+v", done)
+	}
+
+	// The cached result is unperturbed: identical bytes to a direct run.
+	knobs := WireKnobs{Scheme: "DWS.ReviveSplit"}.Knobs()
+	got, status := fetchResult(t, ts, done.Points[0].ResultKey)
+	if status != http.StatusOK {
+		t.Fatalf("result fetch after disconnect: status %d", status)
+	}
+	direct := report.NewSession()
+	r, err := direct.Run("Filter", knobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := RenderResultDoc(r, knobs); !bytes.Equal(got, want) {
+		t.Errorf("disconnect perturbed the cached result:\n--- served ---\n%s\n--- direct ---\n%s", got, want)
+	}
+
+	// No goroutine outlives the subscriber. The pool workers and httptest
+	// machinery predate g0; only connections opened since — the dead stream
+	// plus the poll helpers' keep-alives, both closed below — could push
+	// the count up, so it must settle back.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		http.DefaultTransport.(*http.Transport).CloseIdleConnections()
+		tr.CloseIdleConnections()
+		if runtime.NumGoroutine() <= g0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after disconnect: %d, baseline %d", runtime.NumGoroutine(), g0)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

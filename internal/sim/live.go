@@ -131,6 +131,15 @@ func (lv *Live) Snapshot() LiveSnapshot {
 	return lv.snap
 }
 
+// WriteMetrics renders the last published snapshot in the Prometheus text
+// exposition format. It is the /metrics body of the standalone dwsim
+// -httpobs endpoint, and the dwsimd server appends it to its own metric
+// families so one scrape covers both the daemon and the machine it is
+// currently simulating.
+func (lv *Live) WriteMetrics(w io.Writer) {
+	writeProm(w, lv.Snapshot())
+}
+
 // ServeHTTP implements the live endpoint.
 func (lv *Live) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	snap := lv.Snapshot()
